@@ -1,0 +1,192 @@
+// Command faultroute routes between two vertices of a percolated
+// topology and prints the path and probe statistics — a one-shot CLI
+// over the library.
+//
+// Usage examples:
+//
+//	faultroute -graph hypercube -n 12 -p 0.4 -src 0 -dst 4095
+//	faultroute -graph mesh -d 2 -side 50 -p 0.55 -src 0 -dst 2499 -router path-follow
+//	faultroute -graph doubletree -n 20 -p 0.8 -router double-tree-oracle -mode oracle
+//	faultroute -graph complete -n 1000 -p 0.003 -router gnp-oracle -mode oracle
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"faultroute"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultroute", flag.ContinueOnError)
+	var (
+		family = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring")
+		n      = fs.Int("n", 10, "size parameter (dimension, depth, or order depending on -graph)")
+		d      = fs.Int("d", 2, "mesh/torus dimension")
+		side   = fs.Int("side", 16, "mesh/torus side length")
+		p      = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
+		seed   = fs.Uint64("seed", 1, "percolation seed")
+		src    = fs.Uint64("src", 0, "source vertex")
+		dst    = fs.Int64("dst", -1, "destination vertex (-1: topology default, e.g. the antipode)")
+		router = fs.String("router", "", "router: bfs-local, greedy, path-follow, double-tree-oracle, gnp-local, gnp-oracle (default: best fit for the topology)")
+		mode   = fs.String("mode", "local", "probe model: local or oracle")
+		budget = fs.Int("budget", 0, "probe budget, 0 = unlimited")
+		show   = fs.Bool("show-path", false, "print the full path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, defaultRouter, defaultDst, err := buildGraph(*family, *n, *d, *side, *seed)
+	if err != nil {
+		return err
+	}
+	if *router == "" {
+		*router = defaultRouter
+	}
+	r, err := buildRouter(*router, *seed)
+	if err != nil {
+		return err
+	}
+
+	spec := faultroute.Spec{Graph: g, P: *p, Router: r, Budget: *budget}
+	switch *mode {
+	case "local":
+		spec.Mode = faultroute.ModeLocal
+	case "oracle":
+		spec.Mode = faultroute.ModeOracle
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	source := faultroute.Vertex(*src)
+	target := defaultDst
+	if *dst >= 0 {
+		target = faultroute.Vertex(*dst)
+	}
+	if uint64(source) >= g.Order() || uint64(target) >= g.Order() {
+		return fmt.Errorf("endpoints (%d, %d) out of range [0, %d)", source, target, g.Order())
+	}
+
+	fmt.Printf("%s  p=%v seed=%d  %s/%s  %d -> %d\n",
+		g.Name(), *p, *seed, r.Name(), spec.Mode, source, target)
+	out, err := faultroute.Run(spec, source, target, *seed)
+	if err != nil {
+		return err
+	}
+	switch {
+	case out.Err == nil:
+		fmt.Printf("path found: %d hops, %d probes (%d raw probe calls)\n",
+			out.Path.Len(), out.Probes, out.Calls)
+		if *show {
+			strs := make([]string, len(out.Path))
+			for i, v := range out.Path {
+				strs[i] = fmt.Sprint(v)
+			}
+			fmt.Println(strings.Join(strs, " -> "))
+		}
+	case errors.Is(out.Err, faultroute.ErrNoPath):
+		fmt.Printf("no path: endpoints disconnected (%d probes spent proving it)\n", out.Probes)
+	case errors.Is(out.Err, faultroute.ErrBudget):
+		fmt.Printf("budget exhausted after %d probes without finding a path\n", out.Probes)
+	default:
+		return out.Err
+	}
+	return nil
+}
+
+func buildGraph(family string, n, d, side int, seed uint64) (faultroute.Graph, string, faultroute.Vertex, error) {
+	switch family {
+	case "hypercube":
+		g, err := faultroute.NewHypercube(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "path-follow", g.Antipode(0), nil
+	case "mesh":
+		g, err := faultroute.NewMesh(d, side)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "path-follow", faultroute.Vertex(g.Order() - 1), nil
+	case "torus":
+		g, err := faultroute.NewTorus(d, side)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "path-follow", faultroute.Vertex(g.Order() - 1), nil
+	case "doubletree":
+		g, err := faultroute.NewDoubleTree(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "double-tree-oracle", g.RootB(), nil
+	case "complete":
+		g, err := faultroute.NewComplete(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "gnp-local", faultroute.Vertex(g.Order() - 1), nil
+	case "debruijn":
+		g, err := faultroute.NewDeBruijn(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
+	case "shuffleexchange":
+		g, err := faultroute.NewShuffleExchange(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
+	case "butterfly":
+		g, err := faultroute.NewButterfly(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
+	case "cyclematching":
+		g, err := faultroute.NewCycleMatching(n, seed)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
+	case "ring":
+		g, err := faultroute.NewRing(n)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return g, "path-follow", faultroute.Vertex(g.Order() / 2), nil
+	default:
+		return nil, "", 0, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func buildRouter(name string, seed uint64) (faultroute.Router, error) {
+	switch name {
+	case "bfs-local":
+		return faultroute.NewBFSRouter(), nil
+	case "greedy":
+		return faultroute.NewGreedyRouter(), nil
+	case "path-follow":
+		return faultroute.NewPathFollowRouter(), nil
+	case "double-tree-oracle":
+		return faultroute.NewDoubleTreeOracleRouter(), nil
+	case "gnp-local":
+		return faultroute.NewGnpLocalRouter(seed), nil
+	case "gnp-oracle":
+		return faultroute.NewGnpOracleRouter(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown router %q", name)
+	}
+}

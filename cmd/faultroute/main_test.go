@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildGraphFamilies(t *testing.T) {
+	families := []string{
+		"hypercube", "mesh", "torus", "doubletree", "complete",
+		"debruijn", "shuffleexchange", "butterfly", "cyclematching", "ring",
+	}
+	for _, f := range families {
+		n := 6
+		if f == "cyclematching" {
+			n = 16
+		}
+		g, router, dst, err := buildGraph(f, n, 2, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if g == nil || router == "" {
+			t.Fatalf("%s: incomplete result", f)
+		}
+		if uint64(dst) >= g.Order() {
+			t.Fatalf("%s: default destination %d out of range", f, dst)
+		}
+		if _, err := buildRouter(router, 1); err != nil {
+			t.Fatalf("%s: default router %q invalid: %v", f, router, err)
+		}
+	}
+	if _, _, _, err := buildGraph("nope", 5, 2, 8, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestBuildRouterNames(t *testing.T) {
+	for _, name := range []string{
+		"bfs-local", "greedy", "path-follow", "double-tree-oracle", "gnp-local", "gnp-oracle",
+	} {
+		r, err := buildRouter(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("router %q reports name %q", name, r.Name())
+		}
+	}
+	if _, err := buildRouter("nope", 1); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "hypercube", "-n", "8", "-p", "0.9"},
+		{"-graph", "mesh", "-d", "2", "-side", "10", "-p", "0.8"},
+		{"-graph", "doubletree", "-n", "10", "-p", "0.85", "-mode", "oracle"},
+		{"-graph", "complete", "-n", "100", "-p", "0.05", "-router", "gnp-oracle", "-mode", "oracle"},
+		{"-graph", "hypercube", "-n", "8", "-p", "0", "-src", "0", "-dst", "255"},
+		{"-graph", "hypercube", "-n", "8", "-p", "1", "-budget", "3"},
+		{"-graph", "ring", "-n", "12", "-p", "1", "-show-path"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "nope"},
+		{"-mode", "psychic"},
+		{"-router", "nope"},
+		{"-graph", "hypercube", "-n", "8", "-src", "99999"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestRunFlagParseError(t *testing.T) {
+	if err := run([]string{"-n", "notanint"}); err == nil ||
+		!strings.Contains(err.Error(), "invalid") {
+		t.Fatal("bad flag value accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Command percolate explores the component structure of percolated
+// topologies: giant-component fractions across a p sweep, and empirical
+// threshold location for a connectivity event.
+//
+// Usage examples:
+//
+//	percolate -graph hypercube -n 12 -sweep 0.05,0.08,0.1,0.15,0.3
+//	percolate -graph mesh -side 40 -threshold
+//	percolate -graph doubletree -n 12 -threshold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"faultroute"
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/route"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "percolate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("percolate", flag.ContinueOnError)
+	var (
+		family    = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, debruijn, shuffleexchange, butterfly, cyclematching, complete, ring")
+		n         = fs.Int("n", 10, "size parameter")
+		d         = fs.Int("d", 2, "mesh/torus dimension")
+		side      = fs.Int("side", 24, "mesh/torus side length")
+		sweep     = fs.String("sweep", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated p values to scan")
+		trials    = fs.Int("trials", 10, "samples per p")
+		seed      = fs.Uint64("seed", 1, "base seed")
+		threshold = fs.Bool("threshold", false, "bisect for the p where a canonical connection event has probability 1/2")
+		clusters  = fs.Bool("clusters", false, "report cluster statistics (theta, susceptibility) instead of giant fractions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildGraph(*family, *n, *d, *side, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *threshold {
+		return findThreshold(g, *family, *trials, *seed)
+	}
+
+	ps, err := parseSweep(*sweep)
+	if err != nil {
+		return err
+	}
+	if *clusters {
+		rows, err := percolation.ClusterScan(g, ps, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: cluster statistics (%d trials per p)\n", g.Name(), *trials)
+		fmt.Printf("%8s  %10s  %12s  %12s  %10s\n", "p", "theta", "chi", "mean size", "clusters")
+		for _, r := range rows {
+			fmt.Printf("%8.4f  %10.4f  %12.3f  %12.3f  %10d\n",
+				r.P, r.Theta, r.Chi, r.MeanCluster, r.Clusters)
+		}
+		return nil
+	}
+	rows, err := percolation.GiantScan(g, ps, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: giant component scan (%d trials per p)\n", g.Name(), *trials)
+	fmt.Printf("%8s  %12s  %12s  %10s\n", "p", "giant frac", "second frac", "components")
+	for _, r := range rows {
+		fmt.Printf("%8.4f  %12.4f  %12.4f  %10d\n", r.P, r.GiantFraction, r.SecondFraction, r.Components)
+	}
+	return nil
+}
+
+// findThreshold bisects for the p at which a family-appropriate
+// connectivity event crosses probability 1/2: root linkage for double
+// trees, corner-to-corner connection otherwise.
+func findThreshold(g faultroute.Graph, family string, trials int, seed uint64) error {
+	var (
+		event func(p float64, s uint64) bool
+		desc  string
+	)
+	if tt, ok := g.(*graph.DoubleTree); ok {
+		event = func(p float64, s uint64) bool {
+			linked, err := route.DoubleTreeRootsLinked(percolation.New(tt, p, s), 0)
+			return err == nil && linked
+		}
+		desc = "mirrored-branch root connection (Lemma 6 predicts 1/sqrt(2) ~ 0.7071)"
+	} else {
+		u := faultroute.Vertex(0)
+		v := faultroute.Vertex(g.Order() - 1)
+		event = func(p float64, s uint64) bool {
+			comps, err := percolation.Label(percolation.New(g, p, s))
+			return err == nil && comps.Connected(u, v)
+		}
+		desc = fmt.Sprintf("connection of vertices %d and %d", u, v)
+	}
+	pc, err := percolation.FindThreshold(0.01, 0.99, 0.5, 0.005, trials*20, seed, event)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: event = %s\n", g.Name(), desc)
+	fmt.Printf("estimated threshold: p = %.4f\n", pc)
+	return nil
+}
+
+func parseSweep(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	ps := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep value %q: %w", part, err)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+func buildGraph(family string, n, d, side int, seed uint64) (faultroute.Graph, error) {
+	switch family {
+	case "hypercube":
+		return faultroute.NewHypercube(n)
+	case "mesh":
+		return faultroute.NewMesh(d, side)
+	case "torus":
+		return faultroute.NewTorus(d, side)
+	case "doubletree":
+		return faultroute.NewDoubleTree(n)
+	case "complete":
+		return faultroute.NewComplete(n)
+	case "debruijn":
+		return faultroute.NewDeBruijn(n)
+	case "shuffleexchange":
+		return faultroute.NewShuffleExchange(n)
+	case "butterfly":
+		return faultroute.NewButterfly(n)
+	case "cyclematching":
+		return faultroute.NewCycleMatching(n, seed)
+	case "ring":
+		return faultroute.NewRing(n)
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+func TestParseSweep(t *testing.T) {
+	ps, err := parseSweep("0.1, 0.5,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[0] != 0.1 || ps[2] != 0.9 {
+		t.Fatalf("ps = %v", ps)
+	}
+	if _, err := parseSweep("0.1,abc"); err == nil {
+		t.Fatal("bad sweep accepted")
+	}
+}
+
+func TestBuildGraphAllFamilies(t *testing.T) {
+	for _, f := range []string{
+		"hypercube", "mesh", "torus", "doubletree", "complete",
+		"debruijn", "shuffleexchange", "butterfly", "cyclematching", "ring",
+	} {
+		n := 6
+		if f == "cyclematching" {
+			n = 16
+		}
+		if _, err := buildGraph(f, n, 2, 8, 1); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+	if _, err := buildGraph("nope", 5, 2, 8, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestRunGiantScan(t *testing.T) {
+	args := []string{"-graph", "hypercube", "-n", "8", "-sweep", "0.2,0.8", "-trials", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClusterScan(t *testing.T) {
+	args := []string{"-graph", "mesh", "-side", "10", "-sweep", "0.4,0.6", "-trials", "3", "-clusters"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunThresholdDoubleTree(t *testing.T) {
+	args := []string{"-graph", "doubletree", "-n", "8", "-threshold", "-trials", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "nope"},
+		{"-sweep", "xyz"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command routebench regenerates the paper's evaluation: it runs the
+// experiments E1..E13 cataloged in DESIGN.md and prints their tables.
+//
+// Usage:
+//
+//	routebench -list                 enumerate experiments
+//	routebench                       run everything at quick scale
+//	routebench -scale full           run everything at paper scale
+//	routebench -exp E3,E7 -seed 7    run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"faultroute/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "routebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("routebench", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiments and exit")
+		ids    = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed   = fs.Uint64("seed", 1, "base random seed (same seed, same tables)")
+		scale  = fs.String("scale", "quick", "parameter scale: quick or full")
+		plots  = fs.Bool("plot", false, "also render ASCII figures for experiments that define them")
+		format = fs.String("format", "text", "table format: text, csv, or markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	cfg := exp.Config{Seed: *seed}
+	switch *scale {
+	case "quick":
+		cfg.Scale = exp.ScaleQuick
+	case "full":
+		cfg.Scale = exp.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	var chosen []exp.Experiment
+	if *ids == "" {
+		chosen = exp.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			chosen = append(chosen, e)
+		}
+	}
+
+	render := func(tbl *exp.Table) error {
+		switch *format {
+		case "text":
+			return tbl.Render(os.Stdout)
+		case "csv":
+			return tbl.RenderCSV(os.Stdout)
+		case "markdown":
+			return tbl.RenderMarkdown(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q (want text, csv or markdown)", *format)
+		}
+	}
+
+	if *format == "text" {
+		fmt.Printf("faultroute evaluation — scale=%s seed=%d\n\n", cfg.Scale, cfg.Seed)
+	}
+	for _, e := range chosen {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := render(tbl); err != nil {
+			return err
+		}
+		if *plots {
+			if err := tbl.RenderFigures(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

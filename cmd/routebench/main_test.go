@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E9", "-scale", "quick", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPlots(t *testing.T) {
+	if err := run([]string{"-exp", "E5", "-scale", "quick", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if err := run([]string{"-exp", "E5, E13", "-scale", "quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "E99"},
+		{"-scale", "enormous"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// p2p_overlay plays out Section 1.3's prediction on a hypercube DHT:
+// as links fail, the exact-routing greedy lookup (the Chord/Pastry-style
+// bit-fixing walk) collapses around the ROUTING transition p ~ n^-1/2,
+// long before the network disconnects at p ~ 1/n — while flooding keeps
+// finding every reachable key, just at a higher message cost.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+
+	"faultroute"
+)
+
+func main() {
+	const (
+		n      = 10 // 1024 nodes
+		trials = 40
+		seed   = 3
+	)
+	fmt.Printf("hypercube DHT, %d nodes: lookup success under link failures\n", 1<<n)
+	fmt.Printf("(conditioned on the key's owner being reachable at all)\n\n")
+	fmt.Printf("%6s %12s %12s %14s %14s\n", "p", "greedy ok", "flood ok", "greedy msgs", "flood msgs")
+
+	for _, p := range []float64{0.9, 0.6, 0.4, 0.32, 0.25, 0.18, 0.12} {
+		var greedyOK, floodOK, done int
+		var gMsgs, fMsgs float64
+		for t := uint64(0); done < trials && t < 400; t++ {
+			o, err := faultroute.NewOverlay(n, p, seed*1000+t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comps, err := faultroute.LabelComponents(o.Sample())
+			if err != nil {
+				log.Fatal(err)
+			}
+			key := t * 7919
+			from := faultroute.Vertex(0)
+			if !comps.Connected(from, o.Owner(key)) {
+				continue
+			}
+			done++
+			if res, err := o.GreedyLookup(from, key); err == nil {
+				greedyOK++
+				gMsgs += float64(res.Messages)
+			} else if !errors.Is(err, faultroute.ErrLookupFailed) {
+				log.Fatal(err)
+			}
+			if res, err := o.FloodLookup(from, key, 20*n); err == nil {
+				floodOK++
+				fMsgs += float64(res.Messages)
+			} else if !errors.Is(err, faultroute.ErrLookupFailed) {
+				log.Fatal(err)
+			}
+		}
+		if done == 0 {
+			fmt.Printf("%6.2f %12s %12s %14s %14s\n", p, "-", "-", "-", "-")
+			continue
+		}
+		gm, fm := "-", "-"
+		if greedyOK > 0 {
+			gm = fmt.Sprintf("%.0f", gMsgs/float64(greedyOK))
+		}
+		if floodOK > 0 {
+			fm = fmt.Sprintf("%.0f", fMsgs/float64(floodOK))
+		}
+		fmt.Printf("%6.2f %11d%% %11d%% %14s %14s\n",
+			p, 100*greedyOK/done, 100*floodOK/done, gm, fm)
+	}
+	fmt.Println()
+	fmt.Printf("routing transition: p ~ n^-1/2 = %.3f; connectivity transition: p ~ 1/n = %.3f\n",
+		math.Pow(n, -0.5), 1.0/n)
+	fmt.Println("reading: greedy dies near the first line while flooding tracks reachability —")
+	fmt.Println("exactly the paper's Section 1.3 prediction for DHTs under heavy faults.")
+}

@@ -1,0 +1,200 @@
+// Package core exposes the paper's central object — the routing
+// complexity comp(A) of Definition 2 — as a measurement API: pick a
+// topology, a failure probability, a router and a query model, and
+// measure the distribution of probe counts between vertex pairs,
+// conditioned on the pair being connected.
+//
+// It is the layer the public faultroute facade and the benchmark suite
+// are built on; the experiment harness (internal/exp) uses the same
+// substrates with bespoke sweeps.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/probe"
+	"faultroute/internal/rng"
+	"faultroute/internal/route"
+	"faultroute/internal/stats"
+)
+
+// ErrConditioning is returned by Estimate when the conditioning event
+// {src ~ dst} did not occur within the per-trial retry budget — the pair
+// is essentially never connected at these parameters.
+var ErrConditioning = errors.New("core: conditioning failed ({src ~ dst} too rare at these parameters)")
+
+// Mode selects the query model of Definition 1.
+type Mode int
+
+// Query models.
+const (
+	// ModeLocal enforces the locality rule: probes must touch the set of
+	// vertices already reached from the source.
+	ModeLocal Mode = iota
+	// ModeOracle allows probing any edge ("oracle routing", Section 5).
+	ModeOracle
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeOracle {
+		return "oracle"
+	}
+	return "local"
+}
+
+// Spec fixes everything about a routing-complexity measurement except
+// the randomness.
+type Spec struct {
+	// Graph is the base topology.
+	Graph graph.Graph
+	// P is the edge retention probability (failure probability is 1-P).
+	P float64
+	// Router is the algorithm under measurement.
+	Router route.Router
+	// Mode selects local or oracle probing.
+	Mode Mode
+	// Budget caps distinct probes per run (0 = unlimited); exceeding it
+	// censors the run.
+	Budget int
+}
+
+// validate returns an error for specs that cannot be measured.
+func (s Spec) validate() error {
+	if s.Graph == nil {
+		return errors.New("core: spec has no graph")
+	}
+	if s.Router == nil {
+		return errors.New("core: spec has no router")
+	}
+	if s.P < 0 || s.P > 1 {
+		return fmt.Errorf("core: retention probability %v outside [0, 1]", s.P)
+	}
+	return nil
+}
+
+// Outcome reports one routing run on one percolation sample.
+type Outcome struct {
+	// Path is the open path found (nil when Err != nil).
+	Path route.Path
+	// Probes is the number of distinct edges probed — comp(A) for this
+	// run.
+	Probes int
+	// Calls counts raw probe invocations including memoized repeats.
+	Calls int
+	// Err is nil on success, route.ErrNoPath when the pair is
+	// disconnected, or wraps probe.ErrBudget when censored.
+	Err error
+}
+
+// Run routes once on the percolation sample with the given seed and
+// reports the outcome. Routing failures (no path / budget) are reported
+// inside the Outcome; the error return is reserved for spec or
+// infrastructure problems.
+func Run(spec Spec, src, dst graph.Vertex, seed uint64) (Outcome, error) {
+	if err := spec.validate(); err != nil {
+		return Outcome{}, err
+	}
+	s := percolation.New(spec.Graph, spec.P, seed)
+	var pr probe.Prober
+	switch spec.Mode {
+	case ModeLocal:
+		pr = probe.NewLocal(s, src, spec.Budget)
+	case ModeOracle:
+		pr = probe.NewOracle(s, spec.Budget)
+	default:
+		return Outcome{}, fmt.Errorf("core: unknown mode %d", spec.Mode)
+	}
+	path, err := spec.Router.Route(pr, src, dst)
+	out := Outcome{Probes: pr.Count(), Err: err}
+	if err == nil {
+		out.Path = path
+		if verr := route.Validate(s, path, src, dst); verr != nil {
+			return Outcome{}, fmt.Errorf("core: router %s returned an invalid path: %w",
+				spec.Router.Name(), verr)
+		}
+	}
+	if c, ok := pr.(interface{ Calls() int }); ok {
+		out.Calls = c.Calls()
+	}
+	return out, nil
+}
+
+// Complexity is the empirical routing-complexity distribution of a spec
+// over conditioned trials.
+type Complexity struct {
+	stats.Summary
+	// Trials is the number of successfully routed (uncensored) runs the
+	// Summary aggregates.
+	Trials int
+	// Censored counts runs that hit the probe budget.
+	Censored int
+	// Rejected counts percolation samples discarded by conditioning
+	// (pair not connected).
+	Rejected int
+}
+
+// Estimate measures the routing complexity of spec between src and dst
+// over `trials` percolation samples conditioned on {src ~ dst}, exactly
+// as Definition 2 prescribes. Conditioning uses exact component labeling
+// and therefore requires a finite (labelable) graph; maxTries bounds the
+// rejection sampling per trial.
+func Estimate(spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint64) (Complexity, error) {
+	if err := spec.validate(); err != nil {
+		return Complexity{}, err
+	}
+	if trials <= 0 {
+		return Complexity{}, errors.New("core: trials must be positive")
+	}
+	if maxTries <= 0 {
+		maxTries = 100
+	}
+	var (
+		probes []float64
+		out    Complexity
+	)
+	for trial := 0; trial < trials; trial++ {
+		trialSeed := rng.Combine(seed, uint64(trial))
+		accepted := false
+		for try := 0; try < maxTries; try++ {
+			sampleSeed := rng.Combine(trialSeed, uint64(try))
+			comps, err := percolation.Label(percolation.New(spec.Graph, spec.P, sampleSeed))
+			if err != nil {
+				return Complexity{}, err
+			}
+			if !comps.Connected(src, dst) {
+				out.Rejected++
+				continue
+			}
+			o, err := Run(spec, src, dst, sampleSeed)
+			if err != nil {
+				return Complexity{}, err
+			}
+			switch {
+			case o.Err == nil:
+				probes = append(probes, float64(o.Probes))
+			case errors.Is(o.Err, probe.ErrBudget):
+				out.Censored++
+			default:
+				return Complexity{}, fmt.Errorf("core: router failed on a connected pair: %w", o.Err)
+			}
+			accepted = true
+			break
+		}
+		if !accepted {
+			return Complexity{}, fmt.Errorf(
+				"%w: {%d ~ %d} did not occur in %d samples at p = %v",
+				ErrConditioning, src, dst, maxTries, spec.P)
+		}
+	}
+	sum, err := stats.Summarize(probes, out.Censored)
+	if err != nil && out.Censored == 0 {
+		return Complexity{}, err
+	}
+	out.Summary = sum
+	out.Trials = len(probes)
+	return out, nil
+}

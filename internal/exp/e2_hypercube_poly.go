@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/probe"
+	"faultroute/internal/route"
+	"faultroute/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "Hypercube sub-transition scaling: probes vs n at fixed alpha < 1/2",
+		Claim: "Theorem 3(ii): for alpha < 1/2 there is k = k(alpha) with comp(A) < n^k w.h.p.; probes grow polynomially in n.",
+		Run:   runE2,
+	})
+}
+
+func runE2(cfg Config) (*Table, error) {
+	alphas := []float64{0.25, 0.40}
+	ns := cfg.qfInts([]int{8, 9, 10, 11}, []int{9, 10, 11, 12, 13, 14})
+	trials := cfg.qf(8, 25)
+
+	t := NewTable("E2",
+		"Mean local probes of the path-follow router on H_{n,p}, p = n^-alpha",
+		"log-log slope (the empirical k) should be a small constant, growing with alpha",
+		"alpha", "n", "p", "pairs", "mean", "median", "p90")
+
+	for ai, alpha := range alphas {
+		xs := make([]float64, 0, len(ns))
+		ys := make([]float64, 0, len(ns))
+		for ni, n := range ns {
+			g, err := graph.NewHypercube(n)
+			if err != nil {
+				return nil, err
+			}
+			p := math.Pow(float64(n), -alpha)
+			var probes []float64
+			for trial := 0; trial < trials; trial++ {
+				seed := cfg.trialSeed(uint64(ai*100+ni), uint64(trial))
+				u := graph.Vertex(0)
+				v := g.Antipode(u)
+				s, _, _, err := connectedSample(g, p, u, v, seed, 100)
+				if errors.Is(err, ErrConditioning) {
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				pr := probe.NewLocal(s, u, 0)
+				if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
+					return nil, fmt.Errorf("E2: n=%d alpha=%.2f: %w", n, alpha, err)
+				}
+				probes = append(probes, float64(pr.Count()))
+			}
+			if len(probes) == 0 {
+				continue
+			}
+			sum, err := stats.Summarize(probes, 0)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(alpha, n, p, sum.N, sum.Mean, sum.Median, sum.P90)
+			xs = append(xs, float64(n))
+			ys = append(ys, sum.Mean)
+		}
+		if len(xs) >= 2 {
+			fit, err := stats.FitPowerLaw(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			t.AddNote("alpha = %.2f: probes ~ n^%.2f (R2 = %.3f) — the empirical exponent k(alpha)",
+				alpha, fit.Exponent, fit.R2)
+		}
+	}
+	t.AddNote("antipodal pairs conditioned on u ~ v; theorem guarantees k(alpha) = O(1/(1-2alpha))")
+	return t, nil
+}

@@ -1,0 +1,140 @@
+// Package exp is the experiment harness: it regenerates, as numeric
+// tables, every theorem-shaped claim of the paper's evaluation (the paper
+// is pure theory, so its "tables and figures" are its theorems; DESIGN.md
+// maps each to an experiment ID E1..E13). Each experiment is a pure
+// function of a Config — same seed, same table — and renders plain-text
+// tables via Table.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"faultroute/internal/rng"
+)
+
+// ErrUnknownExperiment is returned by ByID for IDs not in the registry.
+var ErrUnknownExperiment = errors.New("exp: unknown experiment")
+
+// Scale selects the size of an experiment run.
+type Scale int
+
+// Experiment scales. Quick keeps every experiment under a few seconds
+// (used by tests and smoke runs); Full reproduces the EXPERIMENTS.md
+// tables (minutes in total).
+const (
+	ScaleQuick Scale = iota
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all randomness; identical configs produce identical
+	// tables.
+	Seed uint64
+	// Scale selects quick (CI-sized) or full (paper-sized) parameters.
+	Scale Scale
+}
+
+// qf returns quick at ScaleQuick and full otherwise — the one-line
+// parameter selector used throughout the experiment files.
+func (c Config) qf(quick, full int) int {
+	if c.Scale == ScaleFull {
+		return full
+	}
+	return quick
+}
+
+// qfF is qf for float64 parameters.
+func (c Config) qfF(quick, full float64) float64 {
+	if c.Scale == ScaleFull {
+		return full
+	}
+	return quick
+}
+
+// qfInts is qf for int slices (parameter sweeps).
+func (c Config) qfInts(quick, full []int) []int {
+	if c.Scale == ScaleFull {
+		return full
+	}
+	return quick
+}
+
+// qfFloats is qf for float64 slices.
+func (c Config) qfFloats(quick, full []float64) []float64 {
+	if c.Scale == ScaleFull {
+		return full
+	}
+	return quick
+}
+
+// trialSeed derives the deterministic seed of one trial within one cell
+// of a parameter sweep.
+func (c Config) trialSeed(cell, trial uint64) uint64 {
+	return rng.Combine(c.Seed, cell<<24|trial)
+}
+
+// Experiment is one reproducible unit of the evaluation.
+type Experiment struct {
+	// ID is the experiment identifier, e.g. "E3".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper result the experiment reproduces.
+	Claim string
+	// Run executes the experiment and returns its table.
+	Run func(cfg Config) (*Table, error)
+}
+
+// registry is populated by the e*.go files' register calls at init time
+// (one call per file keeps registration next to the implementation).
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order (E1, E2, ..., numeric-aware).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return experimentOrder(out[i].ID) < experimentOrder(out[j].ID)
+	})
+	return out
+}
+
+// experimentOrder sorts "E2" before "E10".
+func experimentOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// ByID looks an experiment up by its identifier.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	return e, nil
+}

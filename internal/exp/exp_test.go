@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("%s missing metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale experiments still take seconds")
+	}
+	cfg := Config{Seed: 42, Scale: ScaleQuick}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table ID %s != experiment ID %s", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s row width %d != %d columns", e.ID, len(row), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("render missing experiment ID:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments twice")
+	}
+	// A representative, cheap subset: same config must give identical
+	// tables.
+	for _, id := range []string{"E5", "E9", "E13"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Seed: 7, Scale: ScaleQuick}
+		t1, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := t1.Render(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := t2.Render(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("%s nondeterministic:\n%s\nvs\n%s", id, b1.String(), b2.String())
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments twice")
+	}
+	e, err := ByID("E9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := e.Run(Config{Seed: 1, Scale: ScaleQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Run(Config{Seed: 2, Scale: ScaleQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := t1.Render(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Render(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() == b2.String() {
+		t.Fatal("different seeds produced identical Monte Carlo tables (suspicious)")
+	}
+}
+
+func TestConfigSelectors(t *testing.T) {
+	q := Config{Scale: ScaleQuick}
+	f := Config{Scale: ScaleFull}
+	if q.qf(1, 2) != 1 || f.qf(1, 2) != 2 {
+		t.Fatal("qf wrong")
+	}
+	if q.qfF(0.5, 1.5) != 0.5 || f.qfF(0.5, 1.5) != 1.5 {
+		t.Fatal("qfF wrong")
+	}
+	if q.qfInts([]int{1}, []int{2})[0] != 1 || f.qfInts([]int{1}, []int{2})[0] != 2 {
+		t.Fatal("qfInts wrong")
+	}
+	if q.qfFloats([]float64{1}, []float64{2})[0] != 1 {
+		t.Fatal("qfFloats wrong")
+	}
+	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" {
+		t.Fatal("Scale strings wrong")
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	cfg := Config{Seed: 9}
+	seen := map[uint64]bool{}
+	for cell := uint64(0); cell < 20; cell++ {
+		for trial := uint64(0); trial < 20; trial++ {
+			s := cfg.trialSeed(cell, trial)
+			if seen[s] {
+				t.Fatalf("duplicate trial seed at (%d, %d)", cell, trial)
+			}
+			seen[s] = true
+		}
+	}
+}

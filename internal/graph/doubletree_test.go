@@ -1,0 +1,137 @@
+package graph
+
+import "testing"
+
+func TestDoubleTreeOrder(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		g := MustDoubleTree(n)
+		want := uint64(3)<<uint(n) - 2
+		if g.Order() != want {
+			t.Fatalf("TT_%d order = %d, want %d", n, g.Order(), want)
+		}
+		// Each tree contributes 2^{n+1} - 2 edges.
+		wantEdges := uint64(2) * (2<<uint(n) - 2)
+		if m := NumEdges(g); m != wantEdges {
+			t.Fatalf("TT_%d edges = %d, want %d", n, m, wantEdges)
+		}
+	}
+}
+
+func TestDoubleTreeRootsAtDistance2n(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		g := MustDoubleTree(n)
+		if d := BFSDist(g, g.RootA(), g.RootB()); d != 2*n {
+			t.Fatalf("TT_%d root distance = %d, want %d", n, d, 2*n)
+		}
+	}
+}
+
+func TestDoubleTreeDegrees(t *testing.T) {
+	g := MustDoubleTree(4)
+	if g.Degree(g.RootA()) != 2 || g.Degree(g.RootB()) != 2 {
+		t.Fatal("roots must have degree 2")
+	}
+	for i := uint64(0); i < g.NumLeaves(); i++ {
+		if g.Degree(g.Leaf(i)) != 2 {
+			t.Fatalf("leaf %d degree = %d, want 2", i, g.Degree(g.Leaf(i)))
+		}
+	}
+	// An internal non-root vertex of tree A.
+	if g.Degree(1) != 3 {
+		t.Fatalf("internal degree = %d, want 3", g.Degree(1))
+	}
+}
+
+func TestDoubleTreeHeapRoundTrip(t *testing.T) {
+	g := MustDoubleTree(5)
+	for _, side := range []Side{SideA, SideB} {
+		for h := uint64(1); h < 2*g.NumLeaves(); h++ {
+			v, err := g.VertexAt(side, h)
+			if err != nil {
+				t.Fatalf("VertexAt(%v, %d): %v", side, h, err)
+			}
+			back, ok := g.HeapIndex(side, v)
+			if !ok || back != h {
+				t.Fatalf("heap round trip (%v, %d) -> %d -> (%d, %v)", side, h, v, back, ok)
+			}
+		}
+	}
+}
+
+func TestDoubleTreeHeapIndexRejectsOtherTree(t *testing.T) {
+	g := MustDoubleTree(4)
+	if _, ok := g.HeapIndex(SideB, g.RootA()); ok {
+		t.Fatal("root A should have no heap index in tree B")
+	}
+	if _, ok := g.HeapIndex(SideA, g.RootB()); ok {
+		t.Fatal("root B should have no heap index in tree A")
+	}
+	// Leaves live in both trees.
+	if _, ok := g.HeapIndex(SideA, g.Leaf(0)); !ok {
+		t.Fatal("leaf missing from tree A")
+	}
+	if _, ok := g.HeapIndex(SideB, g.Leaf(0)); !ok {
+		t.Fatal("leaf missing from tree B")
+	}
+}
+
+func TestDoubleTreeLeavesSharedBetweenTrees(t *testing.T) {
+	g := MustDoubleTree(3)
+	// A leaf's two neighbors must be one internal vertex of each tree.
+	leaf := g.Leaf(2)
+	a := g.Neighbor(leaf, 0)
+	b := g.Neighbor(leaf, 1)
+	if _, ok := g.HeapIndex(SideA, a); !ok {
+		t.Fatalf("first leaf parent %d not in tree A", a)
+	}
+	if uint64(a) >= g.Order()-uint64(g.NumLeaves()-1) {
+		t.Fatalf("leaf parent %d not internal-A", a)
+	}
+	if _, ok := g.HeapIndex(SideB, b); !ok || uint64(b) < g.NumLeaves() {
+		t.Fatalf("second leaf parent %d not internal-B", b)
+	}
+}
+
+func TestDoubleTreeMirrorEdgeID(t *testing.T) {
+	g := MustDoubleTree(4)
+	ForEachEdge(g, func(u, v Vertex, id uint64) bool {
+		mirror, ok := g.MirrorEdgeID(id)
+		if !ok {
+			t.Fatalf("no mirror for edge {%d,%d} id %d", u, v, id)
+		}
+		back, ok := g.MirrorEdgeID(mirror)
+		if !ok || back != id {
+			t.Fatalf("mirror not involutive: %d -> %d -> %d", id, mirror, back)
+		}
+		if mirror == id {
+			t.Fatalf("edge %d is its own mirror", id)
+		}
+		return true
+	})
+}
+
+func TestDoubleTreeMirrorPreservesChildHeap(t *testing.T) {
+	g := MustDoubleTree(3)
+	// The A-edge to the leftmost leaf (child heap = 2^n) must mirror to
+	// the B-edge reaching the same leaf.
+	leafHeap := g.NumLeaves()
+	id := leafHeap // A-edge ID is the child heap index
+	mirror, ok := g.MirrorEdgeID(id)
+	if !ok {
+		t.Fatal("no mirror")
+	}
+	wantB := 2*g.NumLeaves() + leafHeap
+	if mirror != wantB {
+		t.Fatalf("mirror of %d = %d, want %d", id, mirror, wantB)
+	}
+}
+
+func TestDoubleTreeVertexAtValidation(t *testing.T) {
+	g := MustDoubleTree(3)
+	if _, err := g.VertexAt(SideA, 0); err == nil {
+		t.Fatal("heap index 0 accepted")
+	}
+	if _, err := g.VertexAt(SideA, 2*g.NumLeaves()); err == nil {
+		t.Fatal("heap index beyond leaves accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestCompleteEdgeCount(t *testing.T) {
+	g := MustComplete(10)
+	if m := NumEdges(g); m != 45 {
+		t.Fatalf("K_10 edges = %d, want 45", m)
+	}
+	if got := Diameter(g); got != 1 {
+		t.Fatalf("K_10 diameter = %d, want 1", got)
+	}
+}
+
+func TestCompleteNeighborSkipsSelf(t *testing.T) {
+	g := MustComplete(5)
+	v := Vertex(2)
+	want := []Vertex{0, 1, 3, 4}
+	for i, w := range want {
+		if got := g.Neighbor(v, i); got != w {
+			t.Fatalf("Neighbor(%d, %d) = %d, want %d", v, i, got, w)
+		}
+	}
+}
+
+func TestDeBruijnDegreeBounds(t *testing.T) {
+	g := MustDeBruijn(6)
+	for v := Vertex(0); uint64(v) < g.Order(); v++ {
+		d := g.Degree(v)
+		if d < 2 || d > 4 {
+			t.Fatalf("vertex %d degree %d outside [2,4]", v, d)
+		}
+	}
+}
+
+func TestDeBruijnDiameterLogarithmic(t *testing.T) {
+	// The directed de Bruijn graph has diameter exactly n; the undirected
+	// version is at most n.
+	for n := 3; n <= 8; n++ {
+		g := MustDeBruijn(n)
+		if d := Diameter(g); d < 1 || d > n {
+			t.Fatalf("DB_%d diameter = %d, want in [1,%d]", n, d, n)
+		}
+	}
+}
+
+func TestDeBruijnShiftAdjacency(t *testing.T) {
+	g := MustDeBruijn(5)
+	// 01011 (11) shifts left to 10110 (22) and 10111 (23).
+	if !IsEdge(g, 11, 22) || !IsEdge(g, 11, 23) {
+		t.Fatal("missing left-shift edges of 01011")
+	}
+}
+
+func TestShuffleExchangeDegreeBounds(t *testing.T) {
+	g := MustShuffleExchange(6)
+	for v := Vertex(0); uint64(v) < g.Order(); v++ {
+		d := g.Degree(v)
+		if d < 1 || d > 3 {
+			t.Fatalf("vertex %d degree %d outside [1,3]", v, d)
+		}
+	}
+}
+
+func TestShuffleExchangeConnected(t *testing.T) {
+	g := MustShuffleExchange(7)
+	if d := Diameter(g); d < 0 {
+		t.Fatal("shuffle-exchange graph disconnected")
+	}
+}
+
+func TestButterflyStructure(t *testing.T) {
+	g := MustButterfly(3)
+	if g.Order() != 4*8 {
+		t.Fatalf("BF_3 order = %d, want 32", g.Order())
+	}
+	// Each of the n levels contributes 2*2^n edges.
+	if m := NumEdges(g); m != 3*2*8 {
+		t.Fatalf("BF_3 edges = %d, want 48", m)
+	}
+	v, ok := g.VertexAt(1, 5)
+	if !ok {
+		t.Fatal("VertexAt(1,5) rejected")
+	}
+	l, r := g.LevelRow(v)
+	if l != 1 || r != 5 {
+		t.Fatalf("LevelRow round trip = (%d,%d)", l, r)
+	}
+}
+
+func TestButterflyCrossEdge(t *testing.T) {
+	g := MustButterfly(3)
+	a, _ := g.VertexAt(0, 0)
+	straight, _ := g.VertexAt(1, 0)
+	cross, _ := g.VertexAt(1, 1) // level-0 cross flips bit 0
+	if !IsEdge(g, a, straight) {
+		t.Fatal("missing straight edge")
+	}
+	if !IsEdge(g, a, cross) {
+		t.Fatal("missing cross edge")
+	}
+	far, _ := g.VertexAt(1, 4)
+	if IsEdge(g, a, far) {
+		t.Fatal("unexpected edge to non-adjacent row")
+	}
+}
+
+func TestButterflyVertexAtBounds(t *testing.T) {
+	g := MustButterfly(3)
+	if _, ok := g.VertexAt(4, 0); ok {
+		t.Fatal("level beyond last accepted")
+	}
+	if _, ok := g.VertexAt(0, 8); ok {
+		t.Fatal("row beyond last accepted")
+	}
+	if _, ok := g.VertexAt(-1, 0); ok {
+		t.Fatal("negative level accepted")
+	}
+}
+
+func TestCycleMatchingCubic(t *testing.T) {
+	g := MustCycleMatching(64, 123)
+	// Every vertex has its two cycle neighbors plus one chord, unless the
+	// chord duplicates a cycle edge (then degree 2).
+	for v := Vertex(0); uint64(v) < g.Order(); v++ {
+		d := g.Degree(v)
+		if d < 2 || d > 3 {
+			t.Fatalf("vertex %d degree %d", v, d)
+		}
+	}
+}
+
+func TestCycleMatchingDeterministicInSeed(t *testing.T) {
+	a := MustCycleMatching(32, 5)
+	b := MustCycleMatching(32, 5)
+	c := MustCycleMatching(32, 6)
+	sameAB, sameAC := true, true
+	for v := Vertex(0); uint64(v) < 32; v++ {
+		for i := 0; i < a.Degree(v); i++ {
+			if b.Degree(v) <= i || a.Neighbor(v, i) != b.Neighbor(v, i) {
+				sameAB = false
+			}
+		}
+		if a.Degree(v) != c.Degree(v) {
+			sameAC = false
+			continue
+		}
+		for i := 0; i < a.Degree(v); i++ {
+			if a.Neighbor(v, i) != c.Neighbor(v, i) {
+				sameAC = false
+			}
+		}
+	}
+	if !sameAB {
+		t.Fatal("same seed produced different matchings")
+	}
+	if sameAC {
+		t.Fatal("different seeds produced identical matchings (suspicious)")
+	}
+}
+
+func TestCycleMatchingRejectsOdd(t *testing.T) {
+	if _, err := NewCycleMatching(9, 1); err == nil {
+		t.Fatal("odd order accepted")
+	}
+}
+
+func TestCycleMatchingSmallDiameter(t *testing.T) {
+	// Bollobas-Chung: diameter is O(log n); sanity-check it is far below
+	// the cycle's n/2.
+	g := MustCycleMatching(256, 99)
+	if d := Diameter(g); d < 0 || d > 30 {
+		t.Fatalf("CM_256 diameter = %d, want small", d)
+	}
+}
+
+func TestRingEdgeIDs(t *testing.T) {
+	g := MustRing(6)
+	id, ok := g.EdgeID(5, 0)
+	if !ok || id != 5 {
+		t.Fatalf("wrap edge ID = %d/%v, want 5", id, ok)
+	}
+	if _, ok := g.EdgeID(0, 3); ok {
+		t.Fatal("chord accepted in a ring")
+	}
+}
+
+func TestConstructorsRejectBadParams(t *testing.T) {
+	if _, err := NewComplete(1); err == nil {
+		t.Error("K_1 accepted")
+	}
+	if _, err := NewDeBruijn(1); err == nil {
+		t.Error("DB_1 accepted")
+	}
+	if _, err := NewShuffleExchange(25); err == nil {
+		t.Error("SE_25 accepted")
+	}
+	if _, err := NewButterfly(0); err == nil {
+		t.Error("BF_0 accepted")
+	}
+	if _, err := NewRing(2); err == nil {
+		t.Error("C_2 accepted")
+	}
+	if _, err := NewDoubleTree(0); err == nil {
+		t.Error("TT_0 accepted")
+	}
+}

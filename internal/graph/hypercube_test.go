@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypercubeBasics(t *testing.T) {
+	g := MustHypercube(4)
+	if g.Order() != 16 {
+		t.Fatalf("Order = %d, want 16", g.Order())
+	}
+	if g.Degree(0) != 4 {
+		t.Fatalf("Degree = %d, want 4", g.Degree(0))
+	}
+	if NumEdges(g) != 32 { // n * 2^(n-1)
+		t.Fatalf("edges = %d, want 32", NumEdges(g))
+	}
+	if got := Diameter(g); got != 4 {
+		t.Fatalf("diameter = %d, want 4", got)
+	}
+}
+
+func TestHypercubeDimRange(t *testing.T) {
+	if _, err := NewHypercube(0); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	if _, err := NewHypercube(58); err == nil {
+		t.Fatal("dimension 58 accepted")
+	}
+	if _, err := NewHypercube(57); err != nil {
+		t.Fatalf("dimension 57 rejected: %v", err)
+	}
+}
+
+func TestHypercubeNeighborFlipsOneBit(t *testing.T) {
+	g := MustHypercube(10)
+	if err := quick.Check(func(v uint16, i uint8) bool {
+		vert := Vertex(v) % Vertex(g.Order())
+		idx := int(i) % g.Dim()
+		w := g.Neighbor(vert, idx)
+		return bits.OnesCount64(uint64(vert^w)) == 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeDistIsHamming(t *testing.T) {
+	g := MustHypercube(12)
+	if err := quick.Check(func(a, b uint16) bool {
+		u := Vertex(a) % Vertex(g.Order())
+		v := Vertex(b) % Vertex(g.Order())
+		return g.Dist(u, v) == bits.OnesCount64(uint64(u^v))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeAntipode(t *testing.T) {
+	g := MustHypercube(9)
+	if err := quick.Check(func(a uint16) bool {
+		v := Vertex(a) % Vertex(g.Order())
+		return g.Dist(v, g.Antipode(v)) == g.Dim()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeShortestPathMonotone(t *testing.T) {
+	g := MustHypercube(10)
+	if err := quick.Check(func(a, b uint16) bool {
+		u := Vertex(a) % Vertex(g.Order())
+		v := Vertex(b) % Vertex(g.Order())
+		path := g.ShortestPath(u, v)
+		if len(path) != g.Dist(u, v)+1 {
+			return false
+		}
+		// Each step must strictly reduce the distance to v.
+		for i := 1; i < len(path); i++ {
+			if g.Dist(path[i], v) != g.Dist(path[i-1], v)-1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeEdgeIDTight(t *testing.T) {
+	// ID = lo*n + dim must stay below Order * n.
+	g := MustHypercube(6)
+	max := g.Order() * uint64(g.Dim())
+	ForEachEdge(g, func(u, v Vertex, id uint64) bool {
+		if id >= max {
+			t.Fatalf("edge ID %d >= %d", id, max)
+		}
+		return true
+	})
+}
+
+func TestHypercubeEdgeIDRejectsFarPairs(t *testing.T) {
+	g := MustHypercube(8)
+	if _, ok := g.EdgeID(0, 3); ok {
+		t.Fatal("accepted pair at Hamming distance 2")
+	}
+	if _, ok := g.EdgeID(5, 5); ok {
+		t.Fatal("accepted self-loop")
+	}
+}

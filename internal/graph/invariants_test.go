@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"testing"
+
+	"faultroute/internal/rng"
+)
+
+// allTestGraphs returns one modest instance of every topology; the shared
+// invariant tests below run against each.
+func allTestGraphs() []Graph {
+	return []Graph{
+		MustHypercube(1),
+		MustHypercube(5),
+		MustHypercube(8),
+		MustMesh(1, 7),
+		MustMesh(2, 5),
+		MustMesh(3, 4),
+		MustTorus(1, 5),
+		MustTorus(2, 5),
+		MustTorus(3, 4),
+		MustDoubleTree(1),
+		MustDoubleTree(3),
+		MustDoubleTree(5),
+		MustComplete(2),
+		MustComplete(9),
+		MustDeBruijn(3),
+		MustDeBruijn(6),
+		MustShuffleExchange(3),
+		MustShuffleExchange(6),
+		MustButterfly(1),
+		MustButterfly(4),
+		MustCycleMatching(16, 42),
+		MustCycleMatching(100, 7),
+		MustRing(3),
+		MustRing(10),
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	for _, g := range allTestGraphs() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			var buf, buf2 []Vertex
+			for v := Vertex(0); uint64(v) < g.Order(); v++ {
+				buf = Neighbors(g, v, buf[:0])
+				for _, w := range buf {
+					if w == v {
+						t.Fatalf("self-loop at %d", v)
+					}
+					if uint64(w) >= g.Order() {
+						t.Fatalf("neighbor %d of %d out of range", w, v)
+					}
+					buf2 = Neighbors(g, w, buf2[:0])
+					if !containsVertex(buf2, v) {
+						t.Fatalf("asymmetric edge: %d lists %d but not vice versa", v, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNoDuplicateNeighbors(t *testing.T) {
+	for _, g := range allTestGraphs() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			var buf []Vertex
+			for v := Vertex(0); uint64(v) < g.Order(); v++ {
+				buf = Neighbors(g, v, buf[:0])
+				seen := make(map[Vertex]bool, len(buf))
+				for _, w := range buf {
+					if seen[w] {
+						t.Fatalf("vertex %d lists neighbor %d twice", v, w)
+					}
+					seen[w] = true
+				}
+			}
+		})
+	}
+}
+
+func TestEdgeIDMatchesAdjacency(t *testing.T) {
+	for _, g := range allTestGraphs() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			var buf []Vertex
+			for v := Vertex(0); uint64(v) < g.Order(); v++ {
+				buf = Neighbors(g, v, buf[:0])
+				adj := make(map[Vertex]bool, len(buf))
+				for _, w := range buf {
+					adj[w] = true
+					idVW, ok := g.EdgeID(v, w)
+					if !ok {
+						t.Fatalf("EdgeID rejects adjacent pair {%d,%d}", v, w)
+					}
+					idWV, ok := g.EdgeID(w, v)
+					if !ok || idVW != idWV {
+						t.Fatalf("EdgeID not symmetric on {%d,%d}: %d vs %d", v, w, idVW, idWV)
+					}
+				}
+				// A sample of non-neighbors must be rejected.
+				s := rng.NewStream(uint64(v) + 1)
+				for k := 0; k < 8; k++ {
+					w := Vertex(s.Uint64n(g.Order()))
+					if w == v || adj[w] {
+						continue
+					}
+					if _, ok := g.EdgeID(v, w); ok {
+						t.Fatalf("EdgeID accepts non-edge {%d,%d}", v, w)
+					}
+				}
+				if _, ok := g.EdgeID(v, v); ok {
+					t.Fatalf("EdgeID accepts self-loop at %d", v)
+				}
+			}
+		})
+	}
+}
+
+func TestEdgeIDUnique(t *testing.T) {
+	for _, g := range allTestGraphs() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			seen := make(map[uint64][2]Vertex)
+			ForEachEdge(g, func(u, v Vertex, id uint64) bool {
+				if prev, dup := seen[id]; dup {
+					t.Fatalf("edge ID %d assigned to both {%d,%d} and {%d,%d}",
+						id, prev[0], prev[1], u, v)
+				}
+				seen[id] = [2]Vertex{u, v}
+				return true
+			})
+		})
+	}
+}
+
+func TestForEachEdgeCountsHandshake(t *testing.T) {
+	// Sum of degrees must equal twice the edge count (handshake lemma),
+	// confirming ForEachEdge visits each edge exactly once.
+	for _, g := range allTestGraphs() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			var degSum uint64
+			for v := Vertex(0); uint64(v) < g.Order(); v++ {
+				degSum += uint64(g.Degree(v))
+			}
+			if m := NumEdges(g); degSum != 2*m {
+				t.Fatalf("degree sum %d != 2 * edges %d", degSum, m)
+			}
+		})
+	}
+}
+
+func TestMetricAgreesWithBFS(t *testing.T) {
+	for _, g := range allTestGraphs() {
+		m, ok := g.(Metric)
+		if !ok || g.Order() > 300 {
+			continue
+		}
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			s := rng.NewStream(99)
+			for k := 0; k < 30; k++ {
+				u := Vertex(s.Uint64n(g.Order()))
+				v := Vertex(s.Uint64n(g.Order()))
+				want := BFSDist(g, u, v)
+				if got := m.Dist(u, v); got != want {
+					t.Fatalf("Dist(%d,%d) = %d, BFS says %d", u, v, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestShortestPathIsValidAndShortest(t *testing.T) {
+	for _, g := range allTestGraphs() {
+		pm, ok := g.(PathMaker)
+		if !ok {
+			continue
+		}
+		met, isMetric := g.(Metric)
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			s := rng.NewStream(7)
+			for k := 0; k < 25; k++ {
+				u := Vertex(s.Uint64n(g.Order()))
+				v := Vertex(s.Uint64n(g.Order()))
+				path := pm.ShortestPath(u, v)
+				if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+					t.Fatalf("path endpoints wrong: %v for (%d,%d)", path, u, v)
+				}
+				for i := 1; i < len(path); i++ {
+					if !IsEdge(g, path[i-1], path[i]) {
+						t.Fatalf("path step {%d,%d} is not an edge", path[i-1], path[i])
+					}
+				}
+				if isMetric {
+					if want := met.Dist(u, v); len(path)-1 != want {
+						t.Fatalf("path length %d != distance %d for (%d,%d)",
+							len(path)-1, want, u, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDegreeNeighborConsistency(t *testing.T) {
+	// Neighbor must be defined exactly for indices [0, Degree).
+	for _, g := range allTestGraphs() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			for v := Vertex(0); uint64(v) < g.Order(); v++ {
+				d := g.Degree(v)
+				if d <= 0 {
+					t.Fatalf("vertex %d has degree %d", v, d)
+				}
+				for i := 0; i < d; i++ {
+					_ = g.Neighbor(v, i) // must not panic
+				}
+			}
+		})
+	}
+}

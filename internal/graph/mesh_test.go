@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	g := MustMesh(2, 4)
+	if g.Order() != 16 {
+		t.Fatalf("Order = %d, want 16", g.Order())
+	}
+	// 2 * side * (side-1) edges for a 2-d mesh.
+	if m := NumEdges(g); m != 24 {
+		t.Fatalf("edges = %d, want 24", m)
+	}
+	if got := Diameter(g); got != 6 {
+		t.Fatalf("diameter = %d, want 6", got)
+	}
+}
+
+func TestMeshCornerAndInteriorDegrees(t *testing.T) {
+	g := MustMesh(2, 5)
+	corner, _ := g.VertexAt(0, 0)
+	if g.Degree(corner) != 2 {
+		t.Fatalf("corner degree = %d, want 2", g.Degree(corner))
+	}
+	edge, _ := g.VertexAt(2, 0)
+	if g.Degree(edge) != 3 {
+		t.Fatalf("edge degree = %d, want 3", g.Degree(edge))
+	}
+	inner, _ := g.VertexAt(2, 2)
+	if g.Degree(inner) != 4 {
+		t.Fatalf("interior degree = %d, want 4", g.Degree(inner))
+	}
+}
+
+func TestMeshCoordsRoundTrip(t *testing.T) {
+	g := MustMesh(3, 5)
+	if err := quick.Check(func(raw uint32) bool {
+		v := Vertex(uint64(raw) % g.Order())
+		c := g.Coords(v)
+		back, err := g.VertexAt(c...)
+		return err == nil && back == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshVertexAtValidation(t *testing.T) {
+	g := MustMesh(2, 4)
+	if _, err := g.VertexAt(1); err == nil {
+		t.Fatal("accepted wrong arity")
+	}
+	if _, err := g.VertexAt(4, 0); err == nil {
+		t.Fatal("accepted out-of-range coordinate")
+	}
+	if _, err := g.VertexAt(-1, 0); err == nil {
+		t.Fatal("accepted negative coordinate")
+	}
+}
+
+func TestMeshDistIsL1(t *testing.T) {
+	g := MustMesh(3, 4)
+	if err := quick.Check(func(a, b uint32) bool {
+		u := Vertex(uint64(a) % g.Order())
+		v := Vertex(uint64(b) % g.Order())
+		cu, cv := g.Coords(u), g.Coords(v)
+		want := 0
+		for i := range cu {
+			d := cu[i] - cv[i]
+			if d < 0 {
+				d = -d
+			}
+			want += d
+		}
+		return g.Dist(u, v) == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshConstructorValidation(t *testing.T) {
+	cases := []struct{ d, side int }{{0, 4}, {2, 1}, {-1, 4}, {41, 3}}
+	for _, c := range cases {
+		if _, err := NewMesh(c.d, c.side); err == nil {
+			t.Errorf("NewMesh(%d, %d) accepted", c.d, c.side)
+		}
+	}
+}
+
+func TestMeshEdgeIDNoWrapConfusion(t *testing.T) {
+	// In a 1-d mesh (a path), vertex side-1 and vertex 0 are NOT
+	// adjacent; a naive stride check would accept them on longer paths
+	// where their difference equals a stride of a higher axis.
+	g := MustMesh(2, 4)
+	a, _ := g.VertexAt(3, 0) // last column of row 0
+	b, _ := g.VertexAt(0, 1) // first column of row 1; difference = 1
+	if _, ok := g.EdgeID(a, b); ok {
+		t.Fatal("EdgeID accepted a wrap-around pair in a mesh")
+	}
+}
+
+func TestTorusBasics(t *testing.T) {
+	g := MustTorus(2, 4)
+	if g.Order() != 16 {
+		t.Fatalf("Order = %d", g.Order())
+	}
+	// Torus is 2d-regular: edges = d * side^d.
+	if m := NumEdges(g); m != 32 {
+		t.Fatalf("edges = %d, want 32", m)
+	}
+	if got := Diameter(g); got != 4 {
+		t.Fatalf("diameter = %d, want 4", got)
+	}
+}
+
+func TestTorusWrapDistance(t *testing.T) {
+	g := MustTorus(1, 10)
+	if d := g.Dist(0, 9); d != 1 {
+		t.Fatalf("wrap distance = %d, want 1", d)
+	}
+	if d := g.Dist(0, 5); d != 5 {
+		t.Fatalf("half-way distance = %d, want 5", d)
+	}
+}
+
+func TestTorusRejectsSideTwo(t *testing.T) {
+	if _, err := NewTorus(2, 2); err == nil {
+		t.Fatal("side-2 torus accepted (would have parallel edges)")
+	}
+}
+
+func TestRingShortestPathTakesShortArc(t *testing.T) {
+	g := MustRing(10)
+	p := g.ShortestPath(1, 9)
+	if len(p)-1 != 2 {
+		t.Fatalf("path %v has length %d, want 2", p, len(p)-1)
+	}
+}

@@ -1,0 +1,148 @@
+package overlay
+
+import (
+	"errors"
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/rng"
+)
+
+func TestBacktrackLookupFaultFree(t *testing.T) {
+	o, err := New(9, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 40; key++ {
+		res, err := o.BacktrackLookup(0, key, 10000, false)
+		if err != nil {
+			t.Fatalf("key %d: %v", key, err)
+		}
+		want := o.Cube().Dist(0, o.Owner(key))
+		if res.Hops != want {
+			t.Fatalf("key %d: hops = %d, want %d (fault-free DFS walks the geodesic)",
+				key, res.Hops, want)
+		}
+	}
+}
+
+func TestBacktrackLookupSelfOwner(t *testing.T) {
+	o, _ := New(6, 1, 1)
+	var key uint64
+	for ; o.Owner(key) != 0; key++ {
+	}
+	res, err := o.BacktrackLookup(0, key, 100, false)
+	if err != nil || !res.Found || res.Hops != 0 {
+		t.Fatalf("self lookup: %+v, %v", res, err)
+	}
+}
+
+func TestBacktrackLookupBudget(t *testing.T) {
+	o, err := New(8, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.BacktrackLookup(0, 99, 0, false); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	_, lerr := o.BacktrackLookup(0, 99, 1, true)
+	if lerr != nil && !errors.Is(lerr, ErrLookupFailed) {
+		t.Fatalf("err = %v", lerr)
+	}
+}
+
+func TestBacktrackBeatsGreedyBetweenTransitions(t *testing.T) {
+	// At p where greedy mostly dies, monotone backtracking should still
+	// recover some lookups, and full-detour backtracking should recover
+	// all reachable ones (it degenerates to DFS over the open cluster).
+	const n = 9
+	p := 0.4
+	var greedyOK, btOK, dfsOK, trials int
+	for seed := uint64(0); seed < 40; seed++ {
+		o, err := New(n, p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps, err := percolation.Label(o.Sample())
+		if err != nil {
+			t.Fatal(err)
+		}
+		str := rng.NewStream(seed)
+		key := str.Uint64()
+		from := graph.Vertex(str.Uint64n(o.Cube().Order()))
+		if !comps.Connected(from, o.Owner(key)) {
+			continue
+		}
+		trials++
+		if res, err := o.GreedyLookup(from, key); err == nil && res.Found {
+			greedyOK++
+		}
+		if res, err := o.BacktrackLookup(from, key, 1<<20, false); err == nil && res.Found {
+			btOK++
+		}
+		if res, err := o.BacktrackLookup(from, key, 1<<20, true); err == nil && res.Found {
+			dfsOK++
+		}
+	}
+	if trials < 10 {
+		t.Skipf("only %d connected trials", trials)
+	}
+	if btOK < greedyOK {
+		t.Fatalf("backtracking (%d) worse than greedy (%d) of %d", btOK, greedyOK, trials)
+	}
+	if dfsOK != trials {
+		t.Fatalf("detour DFS missed reachable owners: %d of %d", dfsOK, trials)
+	}
+}
+
+func TestBacktrackPathIsOpenWalk(t *testing.T) {
+	o, err := New(8, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Sample()
+	str := rng.NewStream(9)
+	for k := 0; k < 30; k++ {
+		key := str.Uint64()
+		from := graph.Vertex(str.Uint64n(o.Cube().Order()))
+		res, err := o.BacktrackLookup(from, key, 1<<20, true)
+		if err != nil {
+			continue
+		}
+		if res.Path[0] != from || res.Path[len(res.Path)-1] != o.Owner(key) {
+			t.Fatalf("path endpoints wrong: %v", res.Path)
+		}
+		for i := 1; i < len(res.Path); i++ {
+			open, oerr := s.Open(res.Path[i-1], res.Path[i])
+			if oerr != nil || !open {
+				t.Fatalf("hop {%d,%d}: %v %v", res.Path[i-1], res.Path[i], open, oerr)
+			}
+		}
+	}
+}
+
+func TestBacktrackMonotoneCannotLeaveSubcube(t *testing.T) {
+	// Without detours the walk only fixes differing bits, so it stays in
+	// the subcube spanned by from^owner; verify via path inspection.
+	o, err := New(9, 0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := rng.NewStream(4)
+	for k := 0; k < 20; k++ {
+		key := str.Uint64()
+		from := graph.Vertex(str.Uint64n(o.Cube().Order()))
+		owner := o.Owner(key)
+		res, err := o.BacktrackLookup(from, key, 1<<20, false)
+		if err != nil {
+			continue
+		}
+		fixed := uint64(from ^ owner)
+		for _, v := range res.Path {
+			if uint64(v^from)&^fixed != 0 {
+				t.Fatalf("monotone walk left the subcube: %v", res.Path)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package percolation
+
+import (
+	"errors"
+
+	"faultroute/internal/graph"
+)
+
+// ErrVisitBudget is returned by cluster exploration when the open cluster
+// was not exhausted within the visit budget.
+var ErrVisitBudget = errors.New("percolation: cluster exploration exceeded visit budget")
+
+// Cluster is the result of exploring the open cluster of a start vertex
+// by breadth-first search over open edges. It works on samples of graphs
+// far too large to label exactly (the exploration touches only the
+// cluster itself plus its closed boundary).
+type Cluster struct {
+	// Start is the exploration origin.
+	Start graph.Vertex
+	// Vertices holds every vertex of the cluster in BFS order.
+	Vertices []graph.Vertex
+	// Dist maps each cluster vertex to its open-path distance from Start.
+	Dist map[graph.Vertex]int
+	// EdgesProbed counts the distinct base edges whose state the
+	// exploration examined (open or closed).
+	EdgesProbed uint64
+	// Exhausted is true when the whole cluster was enumerated; false when
+	// the visit budget stopped the search early.
+	Exhausted bool
+}
+
+// Explore runs a BFS from start over open edges, visiting at most
+// maxVertices cluster vertices (0 means unlimited). It never errors on a
+// budget stop; check Exhausted.
+func Explore(s Sample, start graph.Vertex, maxVertices uint64) *Cluster {
+	c := &Cluster{
+		Start: start,
+		Dist:  map[graph.Vertex]int{start: 0},
+	}
+	c.Vertices = append(c.Vertices, start)
+	queue := []graph.Vertex{start}
+	g := s.Graph()
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := g.Degree(v)
+		for i := 0; i < d; i++ {
+			w := g.Neighbor(v, i)
+			if _, seen := c.Dist[w]; seen {
+				continue
+			}
+			id, ok := g.EdgeID(v, w)
+			if !ok {
+				continue
+			}
+			c.EdgesProbed++
+			if !s.OpenEdgeID(v, w, id) {
+				continue
+			}
+			c.Dist[w] = c.Dist[v] + 1
+			c.Vertices = append(c.Vertices, w)
+			if maxVertices > 0 && uint64(len(c.Vertices)) >= maxVertices {
+				return c // Exhausted stays false
+			}
+			queue = append(queue, w)
+		}
+	}
+	c.Exhausted = true
+	return c
+}
+
+// Size returns the number of cluster vertices found.
+func (c *Cluster) Size() uint64 { return uint64(len(c.Vertices)) }
+
+// Contains reports whether v was reached.
+func (c *Cluster) Contains(v graph.Vertex) bool {
+	_, ok := c.Dist[v]
+	return ok
+}
+
+// ConnectedLazy reports whether u and v are in the same open component by
+// exploring from u with the given visit budget. The third return is false
+// when the budget ran out before the answer was determined.
+func ConnectedLazy(s Sample, u, v graph.Vertex, maxVertices uint64) (connected, decided bool) {
+	c := Explore(s, u, maxVertices)
+	if c.Contains(v) {
+		return true, true
+	}
+	return false, c.Exhausted
+}
+
+// PercolationDist returns the open-path distance between u and v (the
+// "percolation distance" D(u,v) of Section 4), or -1 if v was not reached
+// within the visit budget. The second return mirrors ConnectedLazy's
+// decidedness.
+func PercolationDist(s Sample, u, v graph.Vertex, maxVertices uint64) (dist int, decided bool) {
+	c := Explore(s, u, maxVertices)
+	if d, ok := c.Dist[v]; ok {
+		return d, true
+	}
+	if c.Exhausted {
+		return -1, true
+	}
+	return -1, false
+}

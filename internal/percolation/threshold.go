@@ -1,0 +1,114 @@
+package percolation
+
+import (
+	"errors"
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/rng"
+)
+
+// ErrBadBracket is returned by FindThreshold when the event probability
+// does not bracket the target on [lo, hi].
+var ErrBadBracket = errors.New("percolation: threshold target not bracketed")
+
+// EventProbability estimates Pr[event] by Monte Carlo over `trials`
+// independent seeds derived from baseSeed. The event receives the trial
+// seed and must be deterministic in it.
+func EventProbability(trials int, baseSeed uint64, event func(seed uint64) bool) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	hits := 0
+	for t := 0; t < trials; t++ {
+		if event(rng.Combine(baseSeed, uint64(t))) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// ConnectionProbability estimates Pr[u ~ v] in G_p over `trials` samples,
+// using exact component labeling per sample.
+func ConnectionProbability(g graph.Graph, p float64, u, v graph.Vertex, trials int, baseSeed uint64) (float64, error) {
+	var labelErr error
+	prob := EventProbability(trials, baseSeed, func(seed uint64) bool {
+		comps, err := Label(New(g, p, seed))
+		if err != nil {
+			labelErr = err
+			return false
+		}
+		return comps.Connected(u, v)
+	})
+	if labelErr != nil {
+		return 0, labelErr
+	}
+	return prob, nil
+}
+
+// FindThreshold locates the p at which the (monotone increasing in p)
+// event probability crosses target, by bisection on [lo, hi] down to
+// width tol. The event receives (p, seed).
+func FindThreshold(lo, hi, target, tol float64, trials int, baseSeed uint64, event func(p float64, seed uint64) bool) (float64, error) {
+	if lo >= hi || tol <= 0 {
+		return 0, fmt.Errorf("percolation: invalid bracket [%v, %v] or tol %v", lo, hi, tol)
+	}
+	probAt := func(p float64) float64 {
+		return EventProbability(trials, rng.Combine(baseSeed, uint64(p*1e9)), func(seed uint64) bool {
+			return event(p, seed)
+		})
+	}
+	pl, ph := probAt(lo), probAt(hi)
+	if pl > target || ph < target {
+		return 0, fmt.Errorf("%w: Pr(lo)=%.3f Pr(hi)=%.3f target=%.3f",
+			ErrBadBracket, pl, ph, target)
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if probAt(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// GiantStats summarizes the component structure of one percolation
+// configuration.
+type GiantStats struct {
+	P              float64
+	GiantFraction  float64
+	SecondFraction float64
+	Components     uint64
+}
+
+// GiantScan labels `trials` samples at each p and returns the mean giant
+// and second-component fractions; the backbone of the E9 (AKS threshold)
+// experiment.
+func GiantScan(g graph.Graph, ps []float64, trials int, baseSeed uint64) ([]GiantStats, error) {
+	out := make([]GiantStats, 0, len(ps))
+	for i, p := range ps {
+		var acc GiantStats
+		acc.P = p
+		for t := 0; t < trials; t++ {
+			seed := rng.Combine(baseSeed, uint64(i)<<32|uint64(t))
+			comps, err := Label(New(g, p, seed))
+			if err != nil {
+				return nil, err
+			}
+			sizes := comps.SizesDescending()
+			order := float64(g.Order())
+			acc.GiantFraction += float64(sizes[0]) / order
+			if len(sizes) > 1 {
+				acc.SecondFraction += float64(sizes[1]) / order
+			}
+			acc.Components += comps.Count()
+		}
+		acc.GiantFraction /= float64(trials)
+		acc.SecondFraction /= float64(trials)
+		acc.Components /= uint64(trials)
+		out = append(out, acc)
+	}
+	return out, nil
+}

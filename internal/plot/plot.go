@@ -1,0 +1,165 @@
+// Package plot renders numeric series as ASCII scatter/line figures.
+// The paper's results are asymptotic curves (probes vs alpha, probes vs
+// distance, survival vs p); tables carry the exact numbers, and these
+// figures make the shapes — jumps, lines through the origin, exponential
+// fans — visible in a terminal or a text file. cmd/routebench renders
+// them with -plot.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options configure a figure.
+type Options struct {
+	// Title is printed above the canvas.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the canvas size in characters (defaults
+	// 64x20).
+	Width, Height int
+	// LogY plots log10(y); non-positive values are dropped.
+	LogY bool
+	// LogX plots log10(x); non-positive values are dropped.
+	LogX bool
+}
+
+// glyphs assigns one marker per series, cycling if there are many.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ErrNoPoints is returned when no series contributes a plottable point.
+var ErrNoPoints = errors.New("plot: no plottable points")
+
+// Render writes the figure.
+func Render(w io.Writer, opts Options, series ...Series) error {
+	width, height := opts.Width, opts.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if width < 8 || height < 4 {
+		return fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+
+	type pt struct {
+		x, y float64
+		s    int
+	}
+	var pts []pt
+	for si, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if opts.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{x: x, y: y, s: si})
+		}
+	}
+	if len(pts) == 0 {
+		return ErrNoPoints
+	}
+
+	minX, maxX := pts[0].x, pts[0].x
+	minY, maxY := pts[0].y, pts[0].y
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+		minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+	}
+	// Degenerate ranges get a symmetric pad so points land mid-canvas.
+	if maxX == minX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if maxY == minY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int(math.Round((p.x - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((p.y - minY) / (maxY - minY) * float64(height-1)))
+		r := height - 1 - row // canvas row 0 is the top
+		canvas[r][col] = glyphs[p.s%len(glyphs)]
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yLo, yHi := minY, maxY
+	xLo, xHi := minX, maxX
+	yUnit, xUnit := "", ""
+	if opts.LogY {
+		yUnit = " (log10)"
+	}
+	if opts.LogX {
+		xUnit = " (log10)"
+	}
+	fmt.Fprintf(&b, "%s%s in [%s, %s]\n", labelOr(opts.YLabel, "y"), yUnit, num(yLo), num(yHi))
+	for _, row := range canvas {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+-")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s%s in [%s, %s]\n", labelOr(opts.XLabel, "x"), xUnit, num(xLo), num(xHi))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func labelOr(label, def string) string {
+	if label == "" {
+		return def
+	}
+	return label
+}
+
+func num(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 10000 || a < 0.001:
+		return fmt.Sprintf("%.2e", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,116 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, opts Options, series ...Series) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Render(&sb, opts, series...); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := render(t, Options{Title: "T", XLabel: "n", YLabel: "probes"},
+		Series{Name: "mean", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}})
+	for _, want := range []string{"T\n", "probes in [10, 30]", "n in [1, 3]", "* mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no markers drawn")
+	}
+}
+
+func TestRenderCornerPlacement(t *testing.T) {
+	out := render(t, Options{Width: 10, Height: 5},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") {
+			rows = append(rows, l[2:])
+		}
+	}
+	if len(rows) != 5 {
+		t.Fatalf("canvas rows = %d", len(rows))
+	}
+	if rows[0][9] != '*' {
+		t.Fatalf("max point not at top right: %q", rows[0])
+	}
+	if rows[4][0] != '*' {
+		t.Fatalf("min point not at bottom left: %q", rows[4])
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	out := render(t, Options{},
+		Series{Name: "a", X: []float64{1}, Y: []float64{1}},
+		Series{Name: "b", X: []float64{2}, Y: []float64{2}})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("second glyph missing from canvas")
+	}
+}
+
+func TestRenderLogScalesDropNonPositive(t *testing.T) {
+	out := render(t, Options{LogY: true, LogX: true},
+		Series{Name: "s", X: []float64{-1, 10, 100}, Y: []float64{0, 10, 1000}})
+	if !strings.Contains(out, "(log10)") {
+		t.Fatalf("log label missing:\n%s", out)
+	}
+	// Surviving points are (10,10) and (100,1000): log ranges [1,2] and [1,3].
+	if !strings.Contains(out, "y (log10) in [1, 3]") {
+		t.Fatalf("log range wrong:\n%s", out)
+	}
+}
+
+func TestRenderAllPointsDropped(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, Options{LogY: true},
+		Series{Name: "s", X: []float64{1}, Y: []float64{-5}})
+	if !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderRejectsMismatchedSeries(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, Options{}, Series{Name: "s", X: []float64{1, 2}, Y: []float64{1}})
+	if err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestRenderRejectsTinyCanvas(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, Options{Width: 2, Height: 2},
+		Series{Name: "s", X: []float64{1}, Y: []float64{1}})
+	if err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := render(t, Options{}, Series{Name: "s", X: []float64{1, 2}, Y: []float64{5, 5}})
+	if !strings.Contains(out, "[4, 6]") { // padded degenerate range
+		t.Fatalf("degenerate y range not padded:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaNAndInf(t *testing.T) {
+	out := render(t, Options{}, Series{Name: "s",
+		X: []float64{1, 2, 3}, Y: []float64{1, math.NaN(), math.Inf(1)}})
+	if !strings.Contains(out, "y in [0, 2]") {
+		t.Fatalf("NaN/Inf not dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,183 @@
+// Package probe implements the query model of the paper (Definitions 1
+// and 2): a routing algorithm learns the percolation configuration only
+// by probing edges, and its complexity is the number of distinct edges
+// probed.
+//
+// Two probers are provided. Oracle may probe any edge of the base graph
+// (the "oracle routing" model of Section 5). Local enforces Definition
+// 1's locality rule — the first probe must touch the source, and every
+// subsequent probe must touch a vertex already connected to the source by
+// probed-open edges; violating probes are rejected with ErrNotLocal, so
+// the locality of a router is machine-checked rather than assumed.
+//
+// Both probers memoize: re-probing a known edge is free, matching the
+// paper's convention of counting queries of distinct edges (an algorithm
+// gains nothing from repeats). Budgets turn the lower-bound experiments'
+// exponential blow-ups into clean ErrBudget failures.
+package probe
+
+import (
+	"errors"
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+)
+
+// Sentinel errors for probe outcomes.
+var (
+	// ErrBudget reports that the prober's probe budget is exhausted.
+	ErrBudget = errors.New("probe: budget exceeded")
+	// ErrNotLocal reports a probe that violates Definition 1's locality
+	// rule.
+	ErrNotLocal = errors.New("probe: edge not incident to the reached set")
+	// ErrNotEdge reports a probe of a vertex pair that is not an edge of
+	// the base graph.
+	ErrNotEdge = errors.New("probe: not an edge of the base graph")
+)
+
+// Prober is the query interface routing algorithms run against.
+type Prober interface {
+	// Probe reveals whether the edge {u, v} is open. Distinct-edge
+	// probes count against the budget; repeats are free and return the
+	// memoized answer.
+	Probe(u, v graph.Vertex) (open bool, err error)
+
+	// Graph returns the base graph (its topology is public knowledge;
+	// only edge states are hidden).
+	Graph() graph.Graph
+
+	// Count returns the number of distinct edges probed so far — the
+	// routing complexity comp(A) of Definition 2 when the router stops.
+	Count() int
+
+	// Budget returns the maximum allowed Count, or 0 for unlimited.
+	Budget() int
+}
+
+// counter is the shared memoizing, budgeted probe core.
+type counter struct {
+	sample percolation.Sample
+	known  map[uint64]bool // edge ID -> open?
+	budget int             // 0 = unlimited
+	calls  int             // raw Probe invocations, repeats included
+}
+
+func newCounter(s percolation.Sample, budget int) counter {
+	return counter{sample: s, known: make(map[uint64]bool), budget: budget}
+}
+
+// probeEdge reveals the edge {u, v} with canonical id, charging the
+// budget only for new edges. Endpoints are needed because under
+// site+bond percolation edge state depends on endpoint liveness.
+func (c *counter) probeEdge(u, v graph.Vertex, id uint64) (bool, error) {
+	c.calls++
+	if open, seen := c.known[id]; seen {
+		return open, nil
+	}
+	if c.budget > 0 && len(c.known) >= c.budget {
+		return false, ErrBudget
+	}
+	open := c.sample.OpenEdgeID(u, v, id)
+	c.known[id] = open
+	return open, nil
+}
+
+// Count returns distinct probed edges.
+func (c *counter) Count() int { return len(c.known) }
+
+// Calls returns raw Probe invocations including memoized repeats.
+func (c *counter) Calls() int { return c.calls }
+
+// Budget returns the probe budget (0 = unlimited).
+func (c *counter) Budget() int { return c.budget }
+
+// Graph returns the base graph.
+func (c *counter) Graph() graph.Graph { return c.sample.Graph() }
+
+// Known reports the memoized state of an edge without probing it.
+func (c *counter) Known(id uint64) (open, seen bool) {
+	open, seen = c.known[id]
+	return open, seen
+}
+
+// Oracle is a prober that may examine any edge of the base graph —
+// the Section 5 "oracle routing" model.
+type Oracle struct {
+	counter
+}
+
+// NewOracle returns an oracle prober over the sample with the given
+// distinct-edge budget (0 = unlimited).
+func NewOracle(s percolation.Sample, budget int) *Oracle {
+	return &Oracle{counter: newCounter(s, budget)}
+}
+
+// Probe implements Prober.
+func (o *Oracle) Probe(u, v graph.Vertex) (bool, error) {
+	id, ok := o.sample.Graph().EdgeID(u, v)
+	if !ok {
+		return false, fmt.Errorf("%w: {%d, %d}", ErrNotEdge, u, v)
+	}
+	return o.probeEdge(u, v, id)
+}
+
+// Local is a prober enforcing Definition 1: it tracks the set of vertices
+// reached from the source via probed-open edges and rejects probes not
+// incident to that set.
+type Local struct {
+	counter
+	source  graph.Vertex
+	reached map[graph.Vertex]bool
+}
+
+// NewLocal returns a local prober rooted at source with the given
+// distinct-edge budget (0 = unlimited).
+//
+// An invariant keeps the implementation simple: because every accepted
+// probe touches the reached set and an open probe immediately adds its
+// far endpoint, every probed-open edge always has both endpoints
+// reached — the reached set is exactly the open cluster of the source
+// within the probed subgraph.
+func NewLocal(s percolation.Sample, source graph.Vertex, budget int) *Local {
+	return &Local{
+		counter: newCounter(s, budget),
+		source:  source,
+		reached: map[graph.Vertex]bool{source: true},
+	}
+}
+
+// Source returns the routing source the reached set grows from.
+func (l *Local) Source() graph.Vertex { return l.source }
+
+// Reached reports whether v is known to be connected to the source via
+// probed-open edges.
+func (l *Local) Reached(v graph.Vertex) bool { return l.reached[v] }
+
+// NumReached returns the size of the reached set.
+func (l *Local) NumReached() int { return len(l.reached) }
+
+// Probe implements Prober, rejecting probes that do not touch the
+// reached set with ErrNotLocal.
+func (l *Local) Probe(u, v graph.Vertex) (bool, error) {
+	id, ok := l.sample.Graph().EdgeID(u, v)
+	if !ok {
+		return false, fmt.Errorf("%w: {%d, %d}", ErrNotEdge, u, v)
+	}
+	ru, rv := l.reached[u], l.reached[v]
+	if !ru && !rv {
+		return false, fmt.Errorf("%w: {%d, %d}", ErrNotLocal, u, v)
+	}
+	open, err := l.probeEdge(u, v, id)
+	if err != nil {
+		return false, err
+	}
+	if open {
+		if ru && !rv {
+			l.reached[v] = true
+		} else if rv && !ru {
+			l.reached[u] = true
+		}
+	}
+	return open, nil
+}

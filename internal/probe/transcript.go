@@ -1,0 +1,170 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+
+	"faultroute/internal/graph"
+)
+
+// Record is one probe in a transcript.
+type Record struct {
+	// U, V are the probed edge's endpoints in the order the router named
+	// them.
+	U, V graph.Vertex
+	// Open is the revealed state.
+	Open bool
+	// Fresh is true when the probe charged the budget (first probe of
+	// this edge), false for memoized repeats.
+	Fresh bool
+}
+
+// Transcript wraps any Prober and records every successful probe, in
+// order. It backs the audit tooling: the Lemma 5 experiments account for
+// which probed edges crossed a cut, and replayed transcripts let tests
+// assert that a router's probe sequence is deterministic.
+type Transcript struct {
+	inner   Prober
+	records []Record
+}
+
+// NewTranscript wraps pr with probe recording.
+func NewTranscript(pr Prober) *Transcript {
+	return &Transcript{inner: pr}
+}
+
+// Probe implements Prober, recording the outcome of successful probes.
+func (t *Transcript) Probe(u, v graph.Vertex) (bool, error) {
+	before := t.inner.Count()
+	open, err := t.inner.Probe(u, v)
+	if err != nil {
+		return open, err
+	}
+	t.records = append(t.records, Record{
+		U: u, V: v, Open: open,
+		Fresh: t.inner.Count() > before,
+	})
+	return open, nil
+}
+
+// Graph implements Prober.
+func (t *Transcript) Graph() graph.Graph { return t.inner.Graph() }
+
+// Count implements Prober.
+func (t *Transcript) Count() int { return t.inner.Count() }
+
+// Budget implements Prober.
+func (t *Transcript) Budget() int { return t.inner.Budget() }
+
+// Records returns the recorded probes in order. The slice is owned by
+// the transcript; callers must not mutate it.
+func (t *Transcript) Records() []Record { return t.records }
+
+// Len returns the number of recorded probes (repeats included).
+func (t *Transcript) Len() int { return len(t.records) }
+
+// FreshCount returns the number of recorded budget-charging probes; it
+// equals Count() minus any probes made before the wrap.
+func (t *Transcript) FreshCount() int {
+	n := 0
+	for _, r := range t.records {
+		if r.Fresh {
+			n++
+		}
+	}
+	return n
+}
+
+// CutProbes counts recorded fresh probes whose edge crosses the cut
+// (S, V \ S), with membership given by inS. This is the quantity Lemma 5
+// bounds: a router must probe ~1/eta cut edges before finding one that
+// connects into S all the way to the target.
+func (t *Transcript) CutProbes(inS func(graph.Vertex) bool) int {
+	n := 0
+	for _, r := range t.records {
+		if r.Fresh && inS(r.U) != inS(r.V) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes a human-readable probe log, one line per record.
+func (t *Transcript) Dump(w io.Writer) error {
+	for i, r := range t.records {
+		state := "closed"
+		if r.Open {
+			state = "open"
+		}
+		kind := "fresh"
+		if !r.Fresh {
+			kind = "repeat"
+		}
+		if _, err := fmt.Fprintf(w, "%4d: {%d, %d} %s (%s)\n", i, r.U, r.V, state, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replayer is a Prober that answers probes from a fixed script instead
+// of a percolation sample. It exists for tests and adversarial analyses:
+// craft any configuration (planted paths, mazes, worst cases) without
+// hunting for a seed that realizes it. Edges absent from the script are
+// reported closed.
+type Replayer struct {
+	g      graph.Graph
+	open   map[uint64]bool
+	known  map[uint64]bool
+	budget int
+	calls  int
+}
+
+// NewReplayer returns a scripted prober over g. openEdges lists the
+// vertex pairs whose edges are open; all other edges are closed.
+// It returns an error if any listed pair is not an edge of g.
+func NewReplayer(g graph.Graph, budget int, openEdges ...[2]graph.Vertex) (*Replayer, error) {
+	r := &Replayer{
+		g:      g,
+		open:   make(map[uint64]bool, len(openEdges)),
+		known:  make(map[uint64]bool),
+		budget: budget,
+	}
+	for _, e := range openEdges {
+		id, ok := g.EdgeID(e[0], e[1])
+		if !ok {
+			return nil, fmt.Errorf("probe: replayer: {%d, %d} is not an edge of %s", e[0], e[1], g.Name())
+		}
+		r.open[id] = true
+	}
+	return r, nil
+}
+
+// Probe implements Prober.
+func (r *Replayer) Probe(u, v graph.Vertex) (bool, error) {
+	id, ok := r.g.EdgeID(u, v)
+	if !ok {
+		return false, fmt.Errorf("%w: {%d, %d}", ErrNotEdge, u, v)
+	}
+	r.calls++
+	if r.known[id] {
+		return r.open[id], nil
+	}
+	if r.budget > 0 && len(r.known) >= r.budget {
+		return false, ErrBudget
+	}
+	r.known[id] = true
+	return r.open[id], nil
+}
+
+// Graph implements Prober.
+func (r *Replayer) Graph() graph.Graph { return r.g }
+
+// Count implements Prober.
+func (r *Replayer) Count() int { return len(r.known) }
+
+// Budget implements Prober.
+func (r *Replayer) Budget() int { return r.budget }
+
+// Calls returns raw probe invocations.
+func (r *Replayer) Calls() int { return r.calls }

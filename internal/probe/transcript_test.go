@@ -1,0 +1,148 @@
+package probe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+)
+
+func TestTranscriptRecordsInOrder(t *testing.T) {
+	g := graph.MustRing(10)
+	tr := NewTranscript(NewOracle(percolation.New(g, 1, 1), 0))
+	pairs := [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 1}}
+	for _, pr := range pairs {
+		if _, err := tr.Probe(pr[0], pr[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if !recs[0].Fresh || !recs[1].Fresh || recs[2].Fresh {
+		t.Fatalf("freshness wrong: %+v", recs)
+	}
+	if tr.FreshCount() != 2 || tr.Count() != 2 || tr.Len() != 3 {
+		t.Fatalf("counts: fresh=%d count=%d len=%d", tr.FreshCount(), tr.Count(), tr.Len())
+	}
+}
+
+func TestTranscriptDoesNotRecordRejectedProbes(t *testing.T) {
+	g := graph.MustRing(10)
+	tr := NewTranscript(NewLocal(percolation.New(g, 1, 1), 0, 0))
+	if _, err := tr.Probe(4, 5); !errors.Is(err, ErrNotLocal) {
+		t.Fatalf("err = %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("rejected probe recorded")
+	}
+}
+
+func TestTranscriptCutProbes(t *testing.T) {
+	g := graph.MustRing(8)
+	tr := NewTranscript(NewOracle(percolation.New(g, 1, 1), 0))
+	// S = {0,1,2,3}: cut edges are {3,4} and {7,0}.
+	probes := [][2]graph.Vertex{{0, 1}, {3, 4}, {7, 0}, {5, 6}}
+	for _, pr := range probes {
+		if _, err := tr.Probe(pr[0], pr[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inS := func(v graph.Vertex) bool { return v < 4 }
+	if got := tr.CutProbes(inS); got != 2 {
+		t.Fatalf("cut probes = %d, want 2", got)
+	}
+}
+
+func TestTranscriptDump(t *testing.T) {
+	g := graph.MustRing(6)
+	tr := NewTranscript(NewOracle(percolation.New(g, 0, 1), 0))
+	if _, err := tr.Probe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "closed") {
+		t.Fatalf("dump = %q", sb.String())
+	}
+}
+
+func TestTranscriptPassesThroughProberContract(t *testing.T) {
+	g := graph.MustRing(10)
+	inner := NewLocal(percolation.New(g, 1, 1), 0, 3)
+	tr := NewTranscript(inner)
+	if tr.Graph() != inner.Graph() || tr.Budget() != 3 {
+		t.Fatal("pass-through accessors wrong")
+	}
+	for i := graph.Vertex(0); i < 3; i++ {
+		if _, err := tr.Probe(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Probe(3, 4); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplayerScriptedAnswers(t *testing.T) {
+	g := graph.MustRing(6)
+	r, err := NewReplayer(g, 0, [2]graph.Vertex{0, 1}, [2]graph.Vertex{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := r.Probe(0, 1)
+	if err != nil || !open {
+		t.Fatalf("scripted open edge: %v %v", open, err)
+	}
+	open, err = r.Probe(2, 3)
+	if err != nil || open {
+		t.Fatalf("unscripted edge should be closed: %v %v", open, err)
+	}
+	if r.Count() != 2 || r.Calls() != 2 {
+		t.Fatalf("count=%d calls=%d", r.Count(), r.Calls())
+	}
+}
+
+func TestReplayerRejectsNonEdgeScript(t *testing.T) {
+	g := graph.MustRing(6)
+	if _, err := NewReplayer(g, 0, [2]graph.Vertex{0, 3}); err == nil {
+		t.Fatal("non-edge script accepted")
+	}
+}
+
+func TestReplayerBudget(t *testing.T) {
+	g := graph.MustRing(10)
+	r, err := NewReplayer(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Probe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Probe(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Probe(2, 3); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	// Memoized stays free.
+	if _, err := r.Probe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayerNonEdgeProbe(t *testing.T) {
+	g := graph.MustRing(6)
+	r, err := NewReplayer(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Probe(0, 2); !errors.Is(err, ErrNotEdge) {
+		t.Fatalf("err = %v", err)
+	}
+}

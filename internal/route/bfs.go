@@ -1,0 +1,199 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/probe"
+)
+
+// BFSLocal is the exhaustive breadth-first router: it probes every edge
+// incident to the reached set in hop order until the destination is
+// reached or the source's open cluster is exhausted. It is the generic
+// (and on the hypercube beyond the routing transition, essentially
+// unavoidable — Theorem 3(i)) upper bound of Section 1.1, and it is local
+// by construction: every probe touches a vertex already reached.
+type BFSLocal struct{}
+
+// NewBFSLocal returns the exhaustive BFS router.
+func NewBFSLocal() *BFSLocal { return &BFSLocal{} }
+
+// Name implements Router.
+func (r *BFSLocal) Name() string { return "bfs-local" }
+
+// Route implements Router.
+func (r *BFSLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	found, parent, err := bfsSearch(pr, src, func(v graph.Vertex) bool { return v == dst })
+	if err != nil {
+		return nil, err
+	}
+	return parentChain(parent, src, found), nil
+}
+
+// bfsSearch runs a breadth-first search over open edges from root,
+// probing lazily, until goal accepts a visited vertex. It returns the
+// accepting vertex and the parent map for path reconstruction, ErrNoPath
+// when the cluster is exhausted, or the probe error (budget, locality).
+func bfsSearch(pr probe.Prober, root graph.Vertex, goal func(graph.Vertex) bool) (graph.Vertex, map[graph.Vertex]graph.Vertex, error) {
+	return bfsSearchBudget(pr, root, goal, 0)
+}
+
+// errSearchBudget reports a bfsSearchBudget stop on its fresh-probe cap.
+// It is internal: callers translate it into their own sentinel.
+var errSearchBudget = errors.New("route: search probe cap reached")
+
+// bfsSearchBudget is bfsSearch with an additional cap on fresh probes
+// charged by this search alone (0 = unlimited); exceeding the cap
+// returns errSearchBudget.
+func bfsSearchBudget(pr probe.Prober, root graph.Vertex, goal func(graph.Vertex) bool, maxFresh int) (graph.Vertex, map[graph.Vertex]graph.Vertex, error) {
+	if goal(root) {
+		return root, map[graph.Vertex]graph.Vertex{}, nil
+	}
+	g := pr.Graph()
+	before := pr.Count()
+	parent := map[graph.Vertex]graph.Vertex{root: root}
+	queue := []graph.Vertex{root}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		deg := g.Degree(x)
+		for i := 0; i < deg; i++ {
+			y := g.Neighbor(x, i)
+			if _, seen := parent[y]; seen {
+				continue
+			}
+			if maxFresh > 0 && pr.Count()-before >= maxFresh {
+				return 0, nil, errSearchBudget
+			}
+			open, err := pr.Probe(x, y)
+			if err != nil {
+				return 0, nil, fmt.Errorf("route: bfs from %d: %w", root, err)
+			}
+			if !open {
+				continue
+			}
+			parent[y] = x
+			if goal(y) {
+				return y, parent, nil
+			}
+			queue = append(queue, y)
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: cluster of %d exhausted", ErrNoPath, root)
+}
+
+// GreedyMetric is a best-first router for graphs with a closed-form
+// metric: it always expands the reached vertex closest to the
+// destination in the base-graph metric, probing distance-improving edges
+// before the rest. With no faults it degenerates to greedy shortest-path
+// routing (the paper's remark after Theorem 3(ii)); with faults it
+// backtracks through the priority queue rather than getting stuck.
+type GreedyMetric struct{}
+
+// NewGreedyMetric returns the best-first metric router. Route fails with
+// an error if the prober's graph does not implement graph.Metric.
+func NewGreedyMetric() *GreedyMetric { return &GreedyMetric{} }
+
+// Name implements Router.
+func (r *GreedyMetric) Name() string { return "greedy" }
+
+// Route implements Router.
+func (r *GreedyMetric) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	g := pr.Graph()
+	m, ok := g.(graph.Metric)
+	if !ok {
+		return nil, fmt.Errorf("route: greedy router needs a metric graph, %s has none", g.Name())
+	}
+	if src == dst {
+		return Path{src}, nil
+	}
+	parent := map[graph.Vertex]graph.Vertex{src: src}
+	pq := &vertexHeap{}
+	pq.push(src, m.Dist(src, dst))
+	for pq.len() > 0 {
+		x := pq.pop()
+		deg := g.Degree(x)
+		// Probe distance-improving edges first so the fault-free case
+		// walks a shortest path without detours.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < deg; i++ {
+				y := g.Neighbor(x, i)
+				improving := m.Dist(y, dst) < m.Dist(x, dst)
+				if (pass == 0) != improving {
+					continue
+				}
+				if _, seen := parent[y]; seen {
+					continue
+				}
+				open, err := pr.Probe(x, y)
+				if err != nil {
+					return nil, fmt.Errorf("route: greedy: %w", err)
+				}
+				if !open {
+					continue
+				}
+				parent[y] = x
+				if y == dst {
+					return parentChain(parent, src, dst), nil
+				}
+				pq.push(y, m.Dist(y, dst))
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: cluster of %d exhausted", ErrNoPath, src)
+}
+
+// vertexHeap is a minimal binary min-heap of (vertex, priority) pairs.
+// It avoids container/heap's interface indirection in the router hot
+// loop.
+type vertexHeap struct {
+	vs []graph.Vertex
+	ks []int
+}
+
+func (h *vertexHeap) len() int { return len(h.vs) }
+
+func (h *vertexHeap) push(v graph.Vertex, key int) {
+	h.vs = append(h.vs, v)
+	h.ks = append(h.ks, key)
+	i := len(h.vs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ks[p] <= h.ks[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *vertexHeap) pop() graph.Vertex {
+	top := h.vs[0]
+	last := len(h.vs) - 1
+	h.swap(0, last)
+	h.vs = h.vs[:last]
+	h.ks = h.ks[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.vs) && h.ks[l] < h.ks[smallest] {
+			smallest = l
+		}
+		if r < len(h.vs) && h.ks[r] < h.ks[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return top
+}
+
+func (h *vertexHeap) swap(i, j int) {
+	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
+	h.ks[i], h.ks[j] = h.ks[j], h.ks[i]
+}

@@ -1,0 +1,108 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/probe"
+)
+
+func TestBidirectionalBFSFullGraph(t *testing.T) {
+	g := graph.MustHypercube(8)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewOracle(s, 0)
+	dst := g.Antipode(0)
+	path, err := NewBidirectionalBFS().Route(pr, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != 8 { // layer-synchronous meet-in-the-middle is geodesic
+		t.Fatalf("path length = %d, want 8", path.Len())
+	}
+	if err := Validate(s, path, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBidirectionalBFSAgreesWithLabeling(t *testing.T) {
+	g := graph.MustMesh(2, 9)
+	dst := graph.Vertex(g.Order() - 1)
+	for seed := uint64(0); seed < 25; seed++ {
+		s := percolation.New(g, 0.55, seed)
+		pr := probe.NewOracle(s, 0)
+		routeAndCheck(t, NewBidirectionalBFS(), s, pr, 0, dst)
+	}
+}
+
+func TestBidirectionalBFSSelfRoute(t *testing.T) {
+	s := percolation.New(graph.MustRing(6), 0, 1)
+	pr := probe.NewOracle(s, 0)
+	path, err := NewBidirectionalBFS().Route(pr, 2, 2)
+	if err != nil || len(path) != 1 {
+		t.Fatalf("self route: %v %v", path, err)
+	}
+}
+
+func TestBidirectionalBFSDisconnected(t *testing.T) {
+	s := percolation.New(graph.MustRing(10), 0, 1)
+	pr := probe.NewOracle(s, 0)
+	_, err := NewBidirectionalBFS().Route(pr, 0, 5)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBidirectionalBFSCheaperThanUnidirectionalMidRange(t *testing.T) {
+	// For a pair at distance 6 in H_12, unidirectional BFS explores a
+	// radius-6 ball while meet-in-the-middle explores two radius-3
+	// balls — a large saving (two antipodal searches would tie, since
+	// both cover the whole cube).
+	g := graph.MustHypercube(12)
+	s := percolation.New(g, 1, 1)
+	dst := graph.Vertex(0b111111) // distance 6 from 0
+	prB := probe.NewOracle(s, 0)
+	if _, err := NewBidirectionalBFS().Route(prB, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	prU := probe.NewLocal(s, 0, 0)
+	if _, err := NewBFSLocal().Route(prU, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if prB.Count()*2 >= prU.Count() {
+		t.Fatalf("bidirectional %d not clearly cheaper than unidirectional %d",
+			prB.Count(), prU.Count())
+	}
+}
+
+func TestBidirectionalBFSViolatesLocality(t *testing.T) {
+	// Expanding from dst before reaching it must be rejected by a Local
+	// prober — the router is genuinely oracle-only.
+	g := graph.MustHypercube(6)
+	s := percolation.New(g, 0.9, 1)
+	pr := probe.NewLocal(s, 0, 0)
+	_, err := NewBidirectionalBFS().Route(pr, 0, g.Antipode(0))
+	if !errors.Is(err, probe.ErrNotLocal) {
+		t.Fatalf("err = %v, want ErrNotLocal", err)
+	}
+}
+
+func TestBidirectionalBFSOnDoubleTree(t *testing.T) {
+	// Generic oracle router on TT_n: correct but exponentially more
+	// expensive than the structure-aware paired DFS (it cannot pair
+	// mirror edges).
+	g := graph.MustDoubleTree(8)
+	for seed := uint64(0); seed < 10; seed++ {
+		s := percolation.New(g, 0.85, seed)
+		comps, err := percolation.Label(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := probe.NewOracle(s, 0)
+		_, rerr := NewBidirectionalBFS().Route(pr, g.RootA(), g.RootB())
+		if (rerr == nil) != comps.Connected(g.RootA(), g.RootB()) {
+			t.Fatalf("seed %d: verdict mismatch: %v", seed, rerr)
+		}
+	}
+}

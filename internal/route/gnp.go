@@ -1,0 +1,256 @@
+package route
+
+import (
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/probe"
+	"faultroute/internal/rng"
+)
+
+// GnpLocal is the natural local router for the percolated complete graph
+// G(n, p): grow the set U_t of vertices reachable from the source, always
+// checking a newly reached vertex's edge to the destination first, and
+// otherwise spending probes on edges from U_t to fresh vertices. Theorem
+// 10 shows no local router can beat its Ω(n²) expected probes when
+// p = c/n, so this router is the optimal local baseline up to constants.
+//
+// Probe order is randomized by Seed: by the symmetry argument in the
+// theorem's proof, all cut edges are exchangeable, so the randomization
+// only decouples the router from the sample's edge-ID layout.
+type GnpLocal struct {
+	// Seed randomizes the expansion order of candidate vertices.
+	Seed uint64
+}
+
+// NewGnpLocal returns the incremental frontier router with the given
+// probe-order seed.
+func NewGnpLocal(seed uint64) *GnpLocal { return &GnpLocal{Seed: seed} }
+
+// Name implements Router.
+func (r *GnpLocal) Name() string { return "gnp-local" }
+
+// Route implements Router.
+func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	g := pr.Graph()
+	if src == dst {
+		return Path{src}, nil
+	}
+	n := g.Order()
+	// Candidate vertices in randomized order; src and dst excluded (dst
+	// is always probed first from each new member of U).
+	order := make([]graph.Vertex, 0, n-2)
+	stream := rng.NewStream(rng.Combine(r.Seed, 0xf00d))
+	for v := graph.Vertex(0); uint64(v) < n; v++ {
+		if v != src && v != dst {
+			order = append(order, v)
+		}
+	}
+	stream.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	parent := map[graph.Vertex]graph.Vertex{src: src}
+	members := []graph.Vertex{src} // U_t in discovery order
+	// Direct check from the source.
+	open, err := pr.Probe(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("route: gnp-local: %w", err)
+	}
+	if open {
+		return Path{src, dst}, nil
+	}
+
+	// next[i] is the index into `order` of the next candidate the i-th
+	// member of U will try to recruit.
+	next := []int{0}
+	for {
+		progressed := false
+		for i := 0; i < len(members); i++ {
+			x := members[i]
+			// Advance x's pointer past candidates already recruited.
+			for next[i] < len(order) {
+				y := order[next[i]]
+				if _, in := parent[y]; in {
+					next[i]++
+					continue
+				}
+				break
+			}
+			if next[i] >= len(order) {
+				continue
+			}
+			y := order[next[i]]
+			next[i]++
+			progressed = true
+			open, err := pr.Probe(x, y)
+			if err != nil {
+				return nil, fmt.Errorf("route: gnp-local: %w", err)
+			}
+			if !open {
+				continue
+			}
+			parent[y] = x
+			members = append(members, y)
+			next = append(next, 0)
+			// Newly reached vertex: check its edge to the destination
+			// immediately.
+			open, err = pr.Probe(y, dst)
+			if err != nil {
+				return nil, fmt.Errorf("route: gnp-local: %w", err)
+			}
+			if open {
+				parent[dst] = y
+				return parentChain(parent, src, dst), nil
+			}
+		}
+		if !progressed {
+			// Every member has exhausted every candidate: U is the full
+			// component of src and dst is not in it.
+			return nil, fmt.Errorf("%w: component of %d exhausted", ErrNoPath, src)
+		}
+	}
+}
+
+// GnpBidirectional is the Theorem 11 oracle router for G(n, p): grow a
+// cluster U from the source and a cluster V from the destination,
+// preferring probes of untested U-V cross edges, and otherwise expanding
+// the smaller cluster by one vertex. The clusters meet after Θ(√n)
+// vertices a side (a birthday argument), for Θ(n^{3/2}) total probes at
+// p = c/n — a √n factor below the local lower bound, proving the
+// locality/oracle separation on a natural model.
+type GnpBidirectional struct {
+	// Seed randomizes expansion order, as in GnpLocal.
+	Seed uint64
+}
+
+// NewGnpBidirectional returns the Theorem 11 router.
+func NewGnpBidirectional(seed uint64) *GnpBidirectional {
+	return &GnpBidirectional{Seed: seed}
+}
+
+// Name implements Router.
+func (r *GnpBidirectional) Name() string { return "gnp-oracle" }
+
+// side is one growing cluster of the bidirectional search.
+type side struct {
+	root    graph.Vertex
+	members []graph.Vertex
+	parent  map[graph.Vertex]graph.Vertex
+	next    []int // per-member candidate pointer
+}
+
+func newSide(root graph.Vertex) *side {
+	return &side{
+		root:    root,
+		members: []graph.Vertex{root},
+		parent:  map[graph.Vertex]graph.Vertex{root: root},
+		next:    []int{0},
+	}
+}
+
+// Route implements Router.
+func (r *GnpBidirectional) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	if src == dst {
+		return Path{src}, nil
+	}
+	g := pr.Graph()
+	n := g.Order()
+	order := make([]graph.Vertex, 0, n)
+	stream := rng.NewStream(rng.Combine(r.Seed, 0xbeef))
+	for v := graph.Vertex(0); uint64(v) < n; v++ {
+		if v != src && v != dst {
+			order = append(order, v)
+		}
+	}
+	stream.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	us, vs := newSide(src), newSide(dst)
+	// crossQueue holds untested (u-side vertex, v-side vertex) pairs;
+	// each pair is enqueued exactly once, when its later endpoint joins
+	// its cluster.
+	type pair struct{ a, b graph.Vertex }
+	crossQueue := []pair{{src, dst}}
+
+	enqueueCross := func(newV graph.Vertex, other *side) {
+		for _, w := range other.members {
+			crossQueue = append(crossQueue, pair{newV, w})
+		}
+	}
+
+	grow := func(s *side, other *side) (grown bool, err error) {
+		for i := 0; i < len(s.members); i++ {
+			x := s.members[i]
+			for s.next[i] < len(order) {
+				y := order[s.next[i]]
+				_, inS := s.parent[y]
+				_, inOther := other.parent[y]
+				if inS || inOther {
+					s.next[i]++
+					continue
+				}
+				s.next[i]++
+				open, err := pr.Probe(x, y)
+				if err != nil {
+					return false, err
+				}
+				if !open {
+					continue
+				}
+				s.parent[y] = x
+				s.members = append(s.members, y)
+				s.next = append(s.next, 0)
+				enqueueCross(y, other)
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	join := func(a, b graph.Vertex) Path {
+		// a is in us, b in vs (or the reverse); normalize.
+		if _, inU := us.parent[a]; !inU {
+			a, b = b, a
+		}
+		left := parentChain(us.parent, src, a)
+		right := parentChain(vs.parent, dst, b)
+		// right runs dst..b; reverse to b..dst and append.
+		for i, j := 0, len(right)-1; i < j; i, j = i+1, j-1 {
+			right[i], right[j] = right[j], right[i]
+		}
+		return append(left, right...)
+	}
+
+	for {
+		// Phase 1: drain untested cross edges.
+		for len(crossQueue) > 0 {
+			pq := crossQueue[0]
+			crossQueue = crossQueue[1:]
+			open, err := pr.Probe(pq.a, pq.b)
+			if err != nil {
+				return nil, fmt.Errorf("route: gnp-oracle: %w", err)
+			}
+			if open {
+				return join(pq.a, pq.b), nil
+			}
+		}
+		// Phase 2: expand the smaller side by one vertex.
+		first, second := us, vs
+		if len(vs.members) < len(us.members) {
+			first, second = vs, us
+		}
+		grown, err := grow(first, second)
+		if err != nil {
+			return nil, fmt.Errorf("route: gnp-oracle: %w", err)
+		}
+		if !grown {
+			grown, err = grow(second, first)
+			if err != nil {
+				return nil, fmt.Errorf("route: gnp-oracle: %w", err)
+			}
+		}
+		if !grown && len(crossQueue) == 0 {
+			// Neither side can recruit and no cross edge is untested:
+			// the two components are fully mapped and disjoint.
+			return nil, fmt.Errorf("%w: components of %d and %d are disjoint", ErrNoPath, src, dst)
+		}
+	}
+}

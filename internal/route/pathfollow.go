@@ -1,0 +1,122 @@
+package route
+
+import (
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/probe"
+)
+
+// PathFollow is the waypoint-following router of the paper's upper
+// bounds. It fixes a canonical shortest path u = w_0, w_1, ..., w_m = v
+// in the base (un-percolated) graph and repeatedly breadth-first-searches
+// the open cluster around the current waypoint until some *later*
+// waypoint is reached, then jumps ahead to the furthest waypoint found.
+//
+// On the d-dimensional mesh this is verbatim the Theorem 4 algorithm,
+// whose expected complexity is O(n) for every p above criticality: each
+// segment search costs O(k^d) probes where k, the distance to the next
+// giant-component waypoint, has an exponential tail (Antal-Pisztora).
+// On the hypercube it realizes the Theorem 3(ii) router: for p = n^-α
+// with α < 1/2, consecutive waypoints are "good" and lie at bounded
+// percolation distance, so each segment costs poly(n) probes.
+type PathFollow struct{}
+
+// NewPathFollow returns the waypoint-following router. Route fails if
+// the prober's graph does not implement graph.PathMaker.
+func NewPathFollow() *PathFollow { return &PathFollow{} }
+
+// Name implements Router.
+func (r *PathFollow) Name() string { return "path-follow" }
+
+// Route implements Router.
+func (r *PathFollow) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	g := pr.Graph()
+	pm, ok := g.(graph.PathMaker)
+	if !ok {
+		return nil, fmt.Errorf("route: path-follow router needs a path maker, %s has none", g.Name())
+	}
+	if src == dst {
+		return Path{src}, nil
+	}
+	waypoints := pm.ShortestPath(src, dst)
+	// index of each waypoint along the canonical path.
+	index := make(map[graph.Vertex]int, len(waypoints))
+	for i, w := range waypoints {
+		index[w] = i
+	}
+
+	full := Path{src}
+	pos := 0
+	for pos < len(waypoints)-1 {
+		cur := waypoints[pos]
+		found, parent, err := bfsSearch(pr, cur, func(v graph.Vertex) bool {
+			j, isWaypoint := index[v]
+			return isWaypoint && j > pos
+		})
+		if err != nil {
+			// The cluster of cur (== the cluster of src: every completed
+			// segment walked open edges) contains no later waypoint. In
+			// particular it does not contain dst.
+			return nil, err
+		}
+		seg := parentChain(parent, cur, found)
+		full = append(full, seg[1:]...)
+		pos = index[found]
+	}
+	return full, nil
+}
+
+// SegmentStats describe one waypoint-to-waypoint search of a PathFollow
+// run; used by the Theorem 4 experiment to confirm the per-segment cost
+// has a light tail.
+type SegmentStats struct {
+	// From and To are the waypoint indices the segment connected.
+	From, To int
+	// Probes is the number of distinct new edges the segment search
+	// charged.
+	Probes int
+	// Hops is the open-path length of the segment found.
+	Hops int
+}
+
+// RouteWithStats runs Route while recording per-segment statistics.
+func (r *PathFollow) RouteWithStats(pr probe.Prober, src, dst graph.Vertex) (Path, []SegmentStats, error) {
+	g := pr.Graph()
+	pm, ok := g.(graph.PathMaker)
+	if !ok {
+		return nil, nil, fmt.Errorf("route: path-follow router needs a path maker, %s has none", g.Name())
+	}
+	if src == dst {
+		return Path{src}, nil, nil
+	}
+	waypoints := pm.ShortestPath(src, dst)
+	index := make(map[graph.Vertex]int, len(waypoints))
+	for i, w := range waypoints {
+		index[w] = i
+	}
+	full := Path{src}
+	var stats []SegmentStats
+	pos := 0
+	for pos < len(waypoints)-1 {
+		cur := waypoints[pos]
+		before := pr.Count()
+		found, parent, err := bfsSearch(pr, cur, func(v graph.Vertex) bool {
+			j, isWaypoint := index[v]
+			return isWaypoint && j > pos
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		seg := parentChain(parent, cur, found)
+		full = append(full, seg[1:]...)
+		stats = append(stats, SegmentStats{
+			From:   pos,
+			To:     index[found],
+			Probes: pr.Count() - before,
+			Hops:   seg.Len(),
+		})
+		pos = index[found]
+	}
+	return full, stats, nil
+}

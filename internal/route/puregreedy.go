@@ -1,0 +1,147 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/probe"
+)
+
+// ErrStuck reports that a no-backtracking router reached a vertex with
+// no open improving edge. Unlike ErrNoPath it is not a proof of
+// disconnection — a path may exist through non-improving edges.
+var ErrStuck = errors.New("route: greedy walk stuck (no open improving edge)")
+
+// PureGreedy is memoryless greedy routing: from the current vertex probe
+// only the edges that strictly reduce the base-graph distance to the
+// destination, move over the first open one, and fail if all improving
+// edges are closed. It is the algorithm of the paper's remark after
+// Theorem 3(ii) ("probe edges that reduce the Hamming distance...while
+// this strategy may work most of the way, in the final steps a more
+// extensive search is required") and the routing strategy of
+// hypercube-style DHTs, which is why its success probability — not its
+// cost — is the interesting quantity (experiment E15).
+type PureGreedy struct{}
+
+// NewPureGreedy returns the no-backtracking greedy router. Route fails
+// with an error if the graph has no metric.
+func NewPureGreedy() *PureGreedy { return &PureGreedy{} }
+
+// Name implements Router.
+func (r *PureGreedy) Name() string { return "pure-greedy" }
+
+// Route implements Router. On a dead end it returns ErrStuck (which is
+// *not* a disconnection proof); on success the returned path is a
+// base-graph geodesic.
+func (r *PureGreedy) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	g := pr.Graph()
+	m, ok := g.(graph.Metric)
+	if !ok {
+		return nil, fmt.Errorf("route: pure greedy needs a metric graph, %s has none", g.Name())
+	}
+	path := Path{src}
+	cur := src
+	for cur != dst {
+		moved := false
+		deg := g.Degree(cur)
+		for i := 0; i < deg; i++ {
+			next := g.Neighbor(cur, i)
+			if m.Dist(next, dst) >= m.Dist(cur, dst) {
+				continue
+			}
+			open, err := pr.Probe(cur, next)
+			if err != nil {
+				return nil, fmt.Errorf("route: pure greedy: %w", err)
+			}
+			if open {
+				cur = next
+				path = append(path, cur)
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return nil, fmt.Errorf("%w: at %d, distance %d from %d",
+				ErrStuck, cur, m.Dist(cur, dst), dst)
+		}
+	}
+	return path, nil
+}
+
+// GreedyWithRescue is pure greedy routing plus the paper's suggested
+// repair: walk greedily while possible and, when stuck, run a bounded
+// local BFS ("a more extensive search") to escape to a strictly closer
+// vertex, then resume the walk. rescueRadius bounds each escape search
+// by probes, not hops: a rescue exploring more than rescueBudget fresh
+// edges aborts the route with ErrStuck.
+type GreedyWithRescue struct {
+	// RescueBudget caps the fresh probes of each stuck-escape BFS
+	// (0 means unlimited, degenerating to GreedyMetric-like behavior).
+	RescueBudget int
+}
+
+// NewGreedyWithRescue returns the greedy+escape router.
+func NewGreedyWithRescue(rescueBudget int) *GreedyWithRescue {
+	return &GreedyWithRescue{RescueBudget: rescueBudget}
+}
+
+// Name implements Router.
+func (r *GreedyWithRescue) Name() string { return "greedy-rescue" }
+
+// Route implements Router.
+func (r *GreedyWithRescue) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	g := pr.Graph()
+	m, ok := g.(graph.Metric)
+	if !ok {
+		return nil, fmt.Errorf("route: greedy-rescue needs a metric graph, %s has none", g.Name())
+	}
+	path := Path{src}
+	cur := src
+	for cur != dst {
+		// Greedy phase: identical to PureGreedy.
+		moved := false
+		deg := g.Degree(cur)
+		for i := 0; i < deg; i++ {
+			next := g.Neighbor(cur, i)
+			if m.Dist(next, dst) >= m.Dist(cur, dst) {
+				continue
+			}
+			open, err := pr.Probe(cur, next)
+			if err != nil {
+				return nil, fmt.Errorf("route: greedy-rescue: %w", err)
+			}
+			if open {
+				cur = next
+				path = append(path, cur)
+				moved = true
+				break
+			}
+		}
+		if moved {
+			continue
+		}
+		// Rescue phase: bounded BFS from cur for any strictly closer
+		// vertex.
+		target := m.Dist(cur, dst)
+		found, parent, err := bfsSearchBudget(pr, cur, func(v graph.Vertex) bool {
+			return m.Dist(v, dst) < target
+		}, r.RescueBudget)
+		if err != nil {
+			if errors.Is(err, errSearchBudget) {
+				return nil, fmt.Errorf("%w: rescue exceeded %d probes at distance %d",
+					ErrStuck, r.RescueBudget, target)
+			}
+			if errors.Is(err, ErrNoPath) {
+				// Cluster exhausted without a closer vertex: genuinely
+				// disconnected from dst (dst itself is closer).
+				return nil, err
+			}
+			return nil, fmt.Errorf("route: greedy-rescue: %w", err)
+		}
+		seg := parentChain(parent, cur, found)
+		path = append(path, seg[1:]...)
+		cur = found
+	}
+	return path, nil
+}

@@ -1,0 +1,229 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/probe"
+)
+
+func TestPureGreedyFaultFreeIsGeodesic(t *testing.T) {
+	g := graph.MustHypercube(10)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, 0, 0)
+	dst := g.Antipode(0)
+	path, err := NewPureGreedy().Route(pr, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != 10 {
+		t.Fatalf("path length = %d, want 10", path.Len())
+	}
+	if pr.Count() != 10 {
+		t.Fatalf("fault-free greedy probed %d edges, want 10", pr.Count())
+	}
+}
+
+func TestPureGreedyStuckIsNotNoPath(t *testing.T) {
+	// Planted configuration on a 1-d mesh (a path graph): the improving
+	// edge from the source is closed, so pure greedy is stuck
+	// immediately even though src happens to be disconnected anyway.
+	// The point: the error is ErrStuck, never ErrNoPath.
+	g := graph.MustMesh(1, 5)
+	rp, err := probe.NewReplayer(g, 0) // all edges closed
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := NewPureGreedy().Route(rp, 0, 3)
+	if !errors.Is(rerr, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck", rerr)
+	}
+	if errors.Is(rerr, ErrNoPath) {
+		t.Fatal("pure greedy must not claim a disconnection proof")
+	}
+}
+
+func TestPureGreedyStuckDespiteDetourExisting(t *testing.T) {
+	// 2-d mesh, route (0,0) -> (2,0). Open edges form a detour through
+	// row 1; both improving edges out of (0,0)'s greedy corridor are
+	// arranged so greedy hits a dead end at (1,0) while a path exists.
+	g := graph.MustMesh(2, 3)
+	at := func(x, y int) graph.Vertex {
+		v, err := g.VertexAt(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	src, dst := at(0, 0), at(2, 0)
+	// Path exists: (0,0)-(0,1)-(1,1)-(2,1)-(2,0). Greedy from (0,0)
+	// probes improving edges only: toward (1,0) [open] then from (1,0)
+	// toward (2,0) [closed] — stuck at (1,0).
+	rp, err := probe.NewReplayer(g, 0,
+		[2]graph.Vertex{at(0, 0), at(1, 0)},
+		[2]graph.Vertex{at(0, 0), at(0, 1)},
+		[2]graph.Vertex{at(0, 1), at(1, 1)},
+		[2]graph.Vertex{at(1, 1), at(2, 1)},
+		[2]graph.Vertex{at(2, 1), at(2, 0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := NewPureGreedy().Route(rp, src, dst)
+	if !errors.Is(rerr, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck", rerr)
+	}
+	// The rescue router must find the detour on the same configuration.
+	rp2, err := probe.NewReplayer(g, 0,
+		[2]graph.Vertex{at(0, 0), at(1, 0)},
+		[2]graph.Vertex{at(0, 0), at(0, 1)},
+		[2]graph.Vertex{at(0, 1), at(1, 1)},
+		[2]graph.Vertex{at(1, 1), at(2, 1)},
+		[2]graph.Vertex{at(2, 1), at(2, 0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, rerr := NewGreedyWithRescue(0).Route(rp2, src, dst)
+	if rerr != nil {
+		t.Fatalf("rescue failed: %v", rerr)
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		t.Fatalf("rescue path endpoints: %v", path)
+	}
+}
+
+func TestPureGreedySuccessRateDropsWithP(t *testing.T) {
+	g := graph.MustHypercube(10)
+	dst := g.Antipode(0)
+	rate := func(p float64) float64 {
+		ok := 0
+		const trials = 60
+		for seed := uint64(0); seed < trials; seed++ {
+			s := percolation.New(g, p, seed)
+			pr := probe.NewLocal(s, 0, 0)
+			if _, err := NewPureGreedy().Route(pr, 0, dst); err == nil {
+				ok++
+			}
+		}
+		return float64(ok) / trials
+	}
+	high, low := rate(0.95), rate(0.5)
+	if high < 0.5 {
+		t.Fatalf("success at p=0.95 = %v, want mostly successful", high)
+	}
+	if low >= high {
+		t.Fatalf("success did not drop: %v at 0.95 vs %v at 0.5", high, low)
+	}
+}
+
+func TestGreedyWithRescueMatchesLabeling(t *testing.T) {
+	g := graph.MustHypercube(8)
+	dst := g.Antipode(0)
+	for seed := uint64(0); seed < 20; seed++ {
+		s := percolation.New(g, 0.55, seed)
+		pr := probe.NewLocal(s, 0, 0)
+		routeAndCheck(t, NewGreedyWithRescue(0), s, pr, 0, dst)
+	}
+}
+
+func TestGreedyWithRescueBudgetAborts(t *testing.T) {
+	// With a tiny rescue budget the router gives up (ErrStuck) on
+	// configurations needing a wide escape search.
+	g := graph.MustHypercube(9)
+	dst := g.Antipode(0)
+	sawStuck := false
+	for seed := uint64(0); seed < 40 && !sawStuck; seed++ {
+		s := percolation.New(g, 0.3, seed)
+		comps, err := percolation.Label(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !comps.Connected(0, dst) {
+			continue
+		}
+		pr := probe.NewLocal(s, 0, 0)
+		_, rerr := NewGreedyWithRescue(3).Route(pr, 0, dst)
+		if errors.Is(rerr, ErrStuck) {
+			sawStuck = true
+		}
+	}
+	if !sawStuck {
+		t.Fatal("tiny rescue budget never aborted at p=0.3 (suspicious)")
+	}
+}
+
+func TestGreedyWithRescueValidPaths(t *testing.T) {
+	g := graph.MustMesh(2, 10)
+	dst := graph.Vertex(g.Order() - 1)
+	for seed := uint64(0); seed < 15; seed++ {
+		s := percolation.New(g, 0.65, seed)
+		pr := probe.NewLocal(s, 0, 0)
+		path, err := NewGreedyWithRescue(0).Route(pr, 0, dst)
+		if err != nil {
+			if errors.Is(err, ErrNoPath) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if verr := Validate(s, path, 0, dst); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+	}
+}
+
+func TestPureGreedyNeedsMetric(t *testing.T) {
+	g := graph.MustDoubleTree(3)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, g.RootA(), 0)
+	if _, err := NewPureGreedy().Route(pr, g.RootA(), g.RootB()); err == nil {
+		t.Fatal("metric-less graph accepted")
+	}
+	if _, err := NewGreedyWithRescue(0).Route(pr, g.RootA(), g.RootB()); err == nil {
+		t.Fatal("metric-less graph accepted by rescue router")
+	}
+}
+
+func TestRoutersOnPlantedUniquePath(t *testing.T) {
+	// Failure injection: exactly one open path exists (a snake through
+	// the mesh); every complete router must find precisely that path.
+	g := graph.MustMesh(2, 4)
+	at := func(x, y int) graph.Vertex {
+		v, err := g.VertexAt(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	snake := []graph.Vertex{
+		at(0, 0), at(1, 0), at(2, 0), at(3, 0),
+		at(3, 1), at(2, 1), at(1, 1), at(0, 1),
+		at(0, 2), at(1, 2), at(2, 2), at(3, 2),
+		at(3, 3),
+	}
+	var open [][2]graph.Vertex
+	for i := 1; i < len(snake); i++ {
+		open = append(open, [2]graph.Vertex{snake[i-1], snake[i]})
+	}
+	for _, r := range []Router{NewBFSLocal(), NewGreedyMetric(), NewPathFollow(), NewGreedyWithRescue(0)} {
+		rp, err := probe.NewReplayer(g, 0, open...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, rerr := r.Route(rp, snake[0], snake[len(snake)-1])
+		if rerr != nil {
+			t.Fatalf("%s: %v", r.Name(), rerr)
+		}
+		if path.Len() != len(snake)-1 {
+			t.Fatalf("%s: path length %d, want %d (the unique path)",
+				r.Name(), path.Len(), len(snake)-1)
+		}
+		for i, v := range path {
+			if v != snake[i] {
+				t.Fatalf("%s: path deviates from the only open path at hop %d", r.Name(), i)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package route implements every routing algorithm described in the
+// paper, all expressed against the probe.Prober query interface so that
+// their complexity is measured, and their locality enforced, by
+// construction:
+//
+//   - BFSLocal — exhaustive breadth-first search, the generic upper bound
+//     ("tantamount to probing the entire graph", Section 1.1), and the
+//     building block of the waypoint routers.
+//   - PathFollow — the waypoint-following algorithm of Theorem 4 (mesh)
+//     and Theorem 3(ii) (hypercube): fix a shortest path in the base
+//     graph and BFS from the current waypoint until a later waypoint is
+//     reached.
+//   - GreedyMetric — best-first search by base-graph distance; the
+//     "greedy routing" of the paper's remark after Theorem 3(ii).
+//   - DoubleTreeOracle — the paired-edge DFS of Theorem 9.
+//   - GnpLocal — the incremental frontier router whose Ω(n²) cost
+//     Theorem 10 proves optimal for local routing on G(n, c/n).
+//   - GnpBidirectional — the Θ(n^{3/2}) oracle router of Theorem 11.
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/probe"
+)
+
+// ErrNoPath reports that the router exhausted the source's open cluster
+// without reaching the destination: u and v are definitively not
+// connected in the percolated graph.
+var ErrNoPath = errors.New("route: source and destination are not connected")
+
+// Path is a sequence of vertices, each consecutive pair joined by an
+// open edge. A path from v to itself is the single-element sequence {v}.
+type Path []graph.Vertex
+
+// Len returns the number of edges in the path.
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Router finds a path between two vertices of a percolated graph by
+// probing edges. Implementations must treat the prober as the sole
+// source of truth about edge states.
+type Router interface {
+	// Name returns a short identifier used in experiment tables.
+	Name() string
+
+	// Route returns an open path from src to dst, ErrNoPath if they are
+	// provably disconnected, or probe.ErrBudget (wrapped) if the probe
+	// budget ran out first.
+	Route(pr probe.Prober, src, dst graph.Vertex) (Path, error)
+}
+
+// Validate checks that path is a genuine open path from src to dst in
+// the sample: endpoints match, every hop is a base-graph edge, and every
+// hop is open.
+func Validate(s percolation.Sample, path Path, src, dst graph.Vertex) error {
+	if len(path) == 0 {
+		return errors.New("route: empty path")
+	}
+	if path[0] != src {
+		return fmt.Errorf("route: path starts at %d, want %d", path[0], src)
+	}
+	if path[len(path)-1] != dst {
+		return fmt.Errorf("route: path ends at %d, want %d", path[len(path)-1], dst)
+	}
+	for i := 1; i < len(path); i++ {
+		open, err := s.Open(path[i-1], path[i])
+		if err != nil {
+			return fmt.Errorf("route: hop %d: %w", i, err)
+		}
+		if !open {
+			return fmt.Errorf("route: hop %d: edge {%d, %d} is closed", i, path[i-1], path[i])
+		}
+	}
+	return nil
+}
+
+// parentChain reconstructs the path ending at dst from a parent map and
+// reverses it in place so it runs source-to-destination.
+func parentChain(parent map[graph.Vertex]graph.Vertex, root, dst graph.Vertex) Path {
+	var rev Path
+	for v := dst; ; {
+		rev = append(rev, v)
+		if v == root {
+			break
+		}
+		v = parent[v]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,373 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/probe"
+	"faultroute/internal/rng"
+)
+
+func TestPathLen(t *testing.T) {
+	if (Path{}).Len() != 0 {
+		t.Fatal("empty path length")
+	}
+	if (Path{3}).Len() != 0 {
+		t.Fatal("singleton path length")
+	}
+	if (Path{1, 2, 3}).Len() != 2 {
+		t.Fatal("path length")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.MustRing(6)
+	s := percolation.New(g, 1, 1)
+	if err := Validate(s, Path{0, 1, 2}, 0, 2); err != nil {
+		t.Fatalf("valid path rejected: %v", err)
+	}
+	if err := Validate(s, Path{0, 1, 2}, 0, 3); err == nil {
+		t.Fatal("wrong destination accepted")
+	}
+	if err := Validate(s, Path{1, 2}, 0, 2); err == nil {
+		t.Fatal("wrong source accepted")
+	}
+	if err := Validate(s, Path{0, 2}, 0, 2); err == nil {
+		t.Fatal("non-edge hop accepted")
+	}
+	if err := Validate(s, nil, 0, 0); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	closed := percolation.New(g, 0, 1)
+	if err := Validate(closed, Path{0, 1}, 0, 1); err == nil {
+		t.Fatal("closed hop accepted")
+	}
+}
+
+// routeAndCheck runs the router and cross-checks success/failure against
+// exact component labeling, plus validates any returned path.
+func routeAndCheck(t *testing.T, r Router, s percolation.Sample, pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	t.Helper()
+	comps, err := percolation.Label(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, rerr := r.Route(pr, src, dst)
+	switch {
+	case rerr == nil:
+		if !comps.Connected(src, dst) {
+			t.Fatalf("%s returned a path between disconnected vertices", r.Name())
+		}
+		if err := Validate(s, path, src, dst); err != nil {
+			t.Fatalf("%s returned invalid path: %v", r.Name(), err)
+		}
+	case errors.Is(rerr, ErrNoPath):
+		if comps.Connected(src, dst) {
+			t.Fatalf("%s reported no path but vertices are connected", r.Name())
+		}
+	case errors.Is(rerr, probe.ErrBudget):
+		// acceptable when a budget is set
+	default:
+		t.Fatalf("%s failed: %v", r.Name(), rerr)
+	}
+	return path, rerr
+}
+
+func TestBFSLocalOnFullGraphFindsShortestPath(t *testing.T) {
+	g := graph.MustHypercube(7)
+	s := percolation.New(g, 1, 1)
+	r := NewBFSLocal()
+	pr := probe.NewLocal(s, 0, 0)
+	path, err := r.Route(pr, 0, graph.Vertex(g.Order()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != 7 { // BFS on the full cube finds a geodesic
+		t.Fatalf("path length = %d, want 7", path.Len())
+	}
+	if err := Validate(s, path, 0, graph.Vertex(g.Order()-1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSLocalAgreesWithLabelingManySeeds(t *testing.T) {
+	g := graph.MustMesh(2, 8)
+	for seed := uint64(0); seed < 25; seed++ {
+		s := percolation.New(g, 0.55, seed)
+		pr := probe.NewLocal(s, 0, 0)
+		routeAndCheck(t, NewBFSLocal(), s, pr, 0, graph.Vertex(g.Order()-1))
+	}
+}
+
+func TestBFSLocalSrcEqualsDst(t *testing.T) {
+	g := graph.MustRing(5)
+	s := percolation.New(g, 0, 1)
+	pr := probe.NewLocal(s, 2, 0)
+	path, err := NewBFSLocal().Route(pr, 2, 2)
+	if err != nil || len(path) != 1 || path[0] != 2 {
+		t.Fatalf("self route = %v, %v", path, err)
+	}
+	if pr.Count() != 0 {
+		t.Fatal("self route should cost zero probes")
+	}
+}
+
+func TestBFSLocalBudgetPropagates(t *testing.T) {
+	g := graph.MustHypercube(8)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, 0, 10)
+	_, err := NewBFSLocal().Route(pr, 0, graph.Vertex(g.Order()-1))
+	if !errors.Is(err, probe.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestBFSLocalNoPathOnClosedGraph(t *testing.T) {
+	g := graph.MustRing(8)
+	s := percolation.New(g, 0, 1)
+	pr := probe.NewLocal(s, 0, 0)
+	_, err := NewBFSLocal().Route(pr, 0, 4)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestGreedyOnFullHypercubeIsGeodesicAndCheap(t *testing.T) {
+	g := graph.MustHypercube(10)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, 0, 0)
+	dst := graph.Vertex(g.Order() - 1)
+	path, err := NewGreedyMetric().Route(pr, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != 10 {
+		t.Fatalf("greedy path length = %d, want 10", path.Len())
+	}
+	// With no faults greedy should probe O(n^2), far below the 5120
+	// edges of H_10.
+	if pr.Count() > 110 {
+		t.Fatalf("greedy probed %d edges on the fault-free cube", pr.Count())
+	}
+}
+
+func TestGreedyAgreesWithLabeling(t *testing.T) {
+	g := graph.MustHypercube(8)
+	for seed := uint64(0); seed < 20; seed++ {
+		s := percolation.New(g, 0.5, seed)
+		pr := probe.NewLocal(s, 0, 0)
+		routeAndCheck(t, NewGreedyMetric(), s, pr, 0, graph.Vertex(g.Order()-1))
+	}
+}
+
+func TestGreedyRequiresMetric(t *testing.T) {
+	g := graph.MustDoubleTree(3)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, g.RootA(), 0)
+	if _, err := NewGreedyMetric().Route(pr, g.RootA(), g.RootB()); err == nil {
+		t.Fatal("greedy accepted a metric-less graph")
+	}
+}
+
+func TestPathFollowOnFullMeshWalksTheGeodesic(t *testing.T) {
+	g := graph.MustMesh(2, 10)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, 0, 0)
+	dst, _ := g.VertexAt(9, 9)
+	path, err := NewPathFollow().Route(pr, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != 18 {
+		t.Fatalf("path length = %d, want 18", path.Len())
+	}
+	if err := Validate(s, path, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathFollowAgreesWithLabelingAcrossP(t *testing.T) {
+	g := graph.MustMesh(2, 9)
+	dst := graph.Vertex(g.Order() - 1)
+	for _, p := range []float64{0.4, 0.55, 0.7, 0.95} {
+		for seed := uint64(0); seed < 10; seed++ {
+			s := percolation.New(g, p, seed)
+			pr := probe.NewLocal(s, 0, 0)
+			routeAndCheck(t, NewPathFollow(), s, pr, 0, dst)
+		}
+	}
+}
+
+func TestPathFollowOnHypercube(t *testing.T) {
+	g := graph.MustHypercube(9)
+	dst := g.Antipode(0)
+	for seed := uint64(0); seed < 10; seed++ {
+		s := percolation.New(g, 0.6, seed)
+		pr := probe.NewLocal(s, 0, 0)
+		routeAndCheck(t, NewPathFollow(), s, pr, 0, dst)
+	}
+}
+
+func TestPathFollowStatsAccountProbes(t *testing.T) {
+	g := graph.MustMesh(2, 12)
+	s := percolation.New(g, 0.7, 3)
+	pr := probe.NewLocal(s, 0, 0)
+	dst := graph.Vertex(g.Order() - 1)
+	path, stats, err := NewPathFollow().RouteWithStats(pr, 0, dst)
+	if err != nil {
+		if errors.Is(err, ErrNoPath) {
+			t.Skip("pair disconnected at this seed")
+		}
+		t.Fatal(err)
+	}
+	if err := Validate(s, path, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, st := range stats {
+		if st.To <= st.From {
+			t.Fatalf("segment went backwards: %+v", st)
+		}
+		total += st.Probes
+	}
+	if total != pr.Count() {
+		t.Fatalf("segment probes sum to %d, prober counted %d", total, pr.Count())
+	}
+}
+
+func TestPathFollowRequiresPathMaker(t *testing.T) {
+	g := graph.MustDoubleTree(3)
+	s := percolation.New(g, 1, 1)
+	pr := probe.NewLocal(s, g.RootA(), 0)
+	if _, err := NewPathFollow().Route(pr, g.RootA(), g.RootB()); err == nil {
+		t.Fatal("path-follow accepted a graph without ShortestPath")
+	}
+}
+
+func TestRoutersAreLocalUnderLocalProber(t *testing.T) {
+	// All local routers must complete without ever triggering
+	// ErrNotLocal; run them across topologies and seeds.
+	cases := []struct {
+		g   graph.Graph
+		r   Router
+		src graph.Vertex
+		dst graph.Vertex
+	}{
+		{graph.MustHypercube(7), NewBFSLocal(), 0, 127},
+		{graph.MustHypercube(7), NewGreedyMetric(), 0, 127},
+		{graph.MustHypercube(7), NewPathFollow(), 0, 127},
+		{graph.MustMesh(2, 7), NewPathFollow(), 0, 48},
+		{graph.MustComplete(40), NewGnpLocal(7), 0, 39},
+	}
+	for _, c := range cases {
+		for seed := uint64(0); seed < 8; seed++ {
+			s := percolation.New(c.g, 0.5, seed)
+			pr := probe.NewLocal(s, c.src, 0)
+			_, err := c.r.Route(pr, c.src, c.dst)
+			if err != nil && errors.Is(err, probe.ErrNotLocal) {
+				t.Fatalf("%s on %s violated locality", c.r.Name(), c.g.Name())
+			}
+		}
+	}
+}
+
+func TestRouterNamesDistinct(t *testing.T) {
+	routers := []Router{
+		NewBFSLocal(), NewGreedyMetric(), NewPathFollow(),
+		NewDoubleTreeOracle(), NewGnpLocal(1), NewGnpBidirectional(1),
+	}
+	seen := map[string]bool{}
+	for _, r := range routers {
+		if r.Name() == "" || seen[r.Name()] {
+			t.Fatalf("router name %q empty or duplicated", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+}
+
+func TestParentChain(t *testing.T) {
+	parent := map[graph.Vertex]graph.Vertex{1: 1, 2: 1, 3: 2}
+	p := parentChain(parent, 1, 3)
+	want := Path{1, 2, 3}
+	if len(p) != len(want) {
+		t.Fatalf("chain = %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestBFSProbeCountNeverExceedsEdges(t *testing.T) {
+	g := graph.MustMesh(2, 10)
+	edges := int(graph.NumEdges(g))
+	s := percolation.New(g, 0.5, 11)
+	pr := probe.NewLocal(s, 0, 0)
+	_, err := NewBFSLocal().Route(pr, 0, graph.Vertex(g.Order()-1))
+	if err != nil && !errors.Is(err, ErrNoPath) {
+		t.Fatal(err)
+	}
+	if pr.Count() > edges {
+		t.Fatalf("probed %d distinct edges, graph has %d", pr.Count(), edges)
+	}
+}
+
+func TestGreedyBeatsBFSOnLightFaults(t *testing.T) {
+	// Sanity: with few faults, greedy should probe far fewer edges than
+	// exhaustive BFS on the hypercube antipodal pair.
+	g := graph.MustHypercube(10)
+	dst := g.Antipode(0)
+	var greedyTotal, bfsTotal int
+	n := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		s := percolation.New(g, 0.9, seed)
+		prG := probe.NewLocal(s, 0, 0)
+		if _, err := NewGreedyMetric().Route(prG, 0, dst); err != nil {
+			continue
+		}
+		prB := probe.NewLocal(s, 0, 0)
+		if _, err := NewBFSLocal().Route(prB, 0, dst); err != nil {
+			continue
+		}
+		greedyTotal += prG.Count()
+		bfsTotal += prB.Count()
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no successful trials")
+	}
+	if greedyTotal >= bfsTotal {
+		t.Fatalf("greedy (%d) not cheaper than BFS (%d) at p=0.9", greedyTotal, bfsTotal)
+	}
+}
+
+func TestRandomPairsAcrossTopologies(t *testing.T) {
+	// Cross-check BFS routing against labeling on every topology family.
+	gs := []graph.Graph{
+		graph.MustHypercube(6),
+		graph.MustMesh(3, 4),
+		graph.MustTorus(2, 5),
+		graph.MustDoubleTree(4),
+		graph.MustComplete(30),
+		graph.MustDeBruijn(6),
+		graph.MustShuffleExchange(6),
+		graph.MustButterfly(3),
+		graph.MustCycleMatching(50, 3),
+	}
+	str := rng.NewStream(123)
+	for _, g := range gs {
+		s := percolation.New(g, 0.6, 77)
+		for k := 0; k < 5; k++ {
+			u := graph.Vertex(str.Uint64n(g.Order()))
+			v := graph.Vertex(str.Uint64n(g.Order()))
+			if u == v {
+				continue
+			}
+			pr := probe.NewLocal(s, u, 0)
+			routeAndCheck(t, NewBFSLocal(), s, pr, u, v)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+)
+
+func TestGossipInformsWholeOpenGraph(t *testing.T) {
+	g := graph.MustHypercube(7)
+	s := percolation.New(g, 1, 1)
+	out, err := Gossip(s, 0, 0, false, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Informed != int(g.Order()) {
+		t.Fatalf("informed %d of %d", out.Informed, g.Order())
+	}
+}
+
+func TestGossipLogarithmicRoundsFaultFree(t *testing.T) {
+	// Push gossip informs an expander-ish graph in O(log N) rounds; the
+	// hypercube should be far under N rounds.
+	g := graph.MustHypercube(9)
+	s := percolation.New(g, 1, 1)
+	out, err := Gossip(s, 0, 0, false, 10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Informed != int(g.Order()) {
+		t.Fatalf("informed %d", out.Informed)
+	}
+	if out.Rounds > 200 {
+		t.Fatalf("took %d rounds for 512 nodes", out.Rounds)
+	}
+}
+
+func TestGossipStopsAtTarget(t *testing.T) {
+	g := graph.MustRing(16)
+	s := percolation.New(g, 1, 1)
+	out, err := Gossip(s, 0, 8, true, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ReachedTarget || out.TargetRound <= 0 {
+		t.Fatalf("target not reached: %+v", out)
+	}
+}
+
+func TestGossipSelfTarget(t *testing.T) {
+	g := graph.MustRing(8)
+	s := percolation.New(g, 1, 1)
+	out, err := Gossip(s, 3, 3, true, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ReachedTarget || out.TargetRound != 0 || out.Attempts != 0 {
+		t.Fatalf("self target: %+v", out)
+	}
+}
+
+func TestGossipConfinedToOpenCluster(t *testing.T) {
+	g := graph.MustMesh(2, 10)
+	s := percolation.New(g, 0.45, 9)
+	comps, err := percolation.Label(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Gossip(s, 0, 0, false, 100000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(comps.SizeOf(0))
+	if out.Informed != want {
+		t.Fatalf("informed %d, cluster size %d", out.Informed, want)
+	}
+}
+
+func TestGossipTargetAgreesWithConnectivity(t *testing.T) {
+	g := graph.MustHypercube(8)
+	dst := g.Antipode(0)
+	for seed := uint64(0); seed < 12; seed++ {
+		s := percolation.New(g, 0.5, seed)
+		comps, err := percolation.Label(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Gossip(s, 0, dst, true, 1000000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ReachedTarget != comps.Connected(0, dst) {
+			t.Fatalf("seed %d: reached=%v connected=%v", seed, out.ReachedTarget, comps.Connected(0, dst))
+		}
+	}
+}
+
+func TestGossipDeterministic(t *testing.T) {
+	g := graph.MustMesh(2, 8)
+	s := percolation.New(g, 0.7, 4)
+	a, err := Gossip(s, 0, graph.Vertex(g.Order()-1), true, 100000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gossip(s, 0, graph.Vertex(g.Order()-1), true, 100000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Attempts != b.Attempts || a.Informed != b.Informed {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGossipRejectsBadMaxRounds(t *testing.T) {
+	g := graph.MustRing(8)
+	s := percolation.New(g, 1, 1)
+	if _, err := Gossip(s, 0, 0, false, 0, 1); err == nil {
+		t.Fatal("maxRounds 0 accepted")
+	}
+}
+
+func TestGossipRoundCapRespected(t *testing.T) {
+	g := graph.MustRing(64) // rumor crawls a ring: 2 new nodes per round max
+	s := percolation.New(g, 1, 1)
+	out, err := Gossip(s, 0, 0, false, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds > 3 {
+		t.Fatalf("rounds = %d", out.Rounds)
+	}
+	if out.Informed > 7 { // 1 + at most 2 per round
+		t.Fatalf("informed %d nodes in 3 rounds on a ring", out.Informed)
+	}
+}

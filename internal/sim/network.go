@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+)
+
+// Message is a payload in transit between two adjacent nodes.
+type Message struct {
+	From    graph.Vertex
+	To      graph.Vertex
+	Kind    string
+	Payload interface{}
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(m Message)
+
+// Network couples an engine with a percolated graph: nodes are vertices,
+// and a transmission over a closed (failed) link is silently lost — the
+// sender cannot distinguish a lost message from a slow one, exactly the
+// situation that makes probing expensive in a real network. Every
+// transmission attempt is counted; attempts are the message-complexity
+// analogue of probes.
+type Network struct {
+	eng   *Engine
+	s     percolation.Sample
+	delay float64
+
+	handlers map[graph.Vertex]Handler
+	fallback func(to graph.Vertex, m Message)
+
+	// Attempts counts transmissions tried, Delivered those over open
+	// links, Dropped those lost to failed links.
+	Attempts  int
+	Delivered int
+	Dropped   int
+}
+
+// NewNetwork builds a network over the sample with the given per-hop
+// delay (must be positive; 1 gives hop-synchronous "rounds").
+func NewNetwork(eng *Engine, s percolation.Sample, delay float64) (*Network, error) {
+	if delay <= 0 {
+		return nil, fmt.Errorf("sim: non-positive delay %v", delay)
+	}
+	return &Network{
+		eng:      eng,
+		s:        s,
+		delay:    delay,
+		handlers: make(map[graph.Vertex]Handler),
+	}, nil
+}
+
+// Graph returns the underlying base graph.
+func (nw *Network) Graph() graph.Graph { return nw.s.Graph() }
+
+// SetHandler installs the message handler of node v, overriding the
+// default handler for that node.
+func (nw *Network) SetHandler(v graph.Vertex, h Handler) {
+	nw.handlers[v] = h
+}
+
+// SetDefaultHandler installs a handler shared by every node without a
+// per-node handler; it additionally receives the destination vertex.
+// Protocols in which all nodes run the same code use this to avoid
+// materializing one closure per vertex of a large graph.
+func (nw *Network) SetDefaultHandler(h func(to graph.Vertex, m Message)) {
+	nw.fallback = h
+}
+
+// Send attempts to transmit a message from one node to an adjacent node.
+// It returns an error only for protocol bugs (non-adjacent endpoints);
+// loss over a failed link is not an error, just a dropped message.
+func (nw *Network) Send(from, to graph.Vertex, kind string, payload interface{}) error {
+	open, err := nw.s.Open(from, to)
+	if err != nil {
+		return fmt.Errorf("sim: send %s: %w", kind, err)
+	}
+	nw.Attempts++
+	if !open {
+		nw.Dropped++
+		return nil
+	}
+	nw.Delivered++
+	m := Message{From: from, To: to, Kind: kind, Payload: payload}
+	nw.eng.Schedule(nw.delay, func() {
+		if h, ok := nw.handlers[to]; ok {
+			h(m)
+			return
+		}
+		if nw.fallback != nil {
+			nw.fallback(to, m)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+)
+
+// FloodOutcome reports one run of the distributed flooding/echo routing
+// protocol.
+type FloodOutcome struct {
+	// Found is true when the source received an acknowledgement carrying
+	// a full path to the destination.
+	Found bool
+	// Path is the discovered open path (source..destination) when Found.
+	Path []graph.Vertex
+	// Attempts counts link transmission attempts, the message-complexity
+	// analogue of probe complexity (lost transmissions included).
+	Attempts int
+	// Delivered and Dropped split Attempts by link state.
+	Delivered int
+	Dropped   int
+	// Time is the simulation time at which the source learned the path
+	// (or at which the flood died out); with delay 1 it equals the
+	// number of communication rounds.
+	Time float64
+	// Events is the number of engine events processed.
+	Events int
+}
+
+// message kinds of the protocol.
+const (
+	kindExplore = "explore"
+	kindFound   = "found"
+)
+
+// exploredPayload carries the path walked so far (explore) or the full
+// path back to the source (found).
+type pathPayload struct {
+	path []graph.Vertex
+}
+
+// DistributedBFS runs the natural distributed routing protocol on the
+// percolated graph: the source floods EXPLORE messages; each node
+// forwards the first EXPLORE it receives to its other neighbors; the
+// destination echoes a FOUND carrying the path back along it. The
+// protocol is exactly a local routing algorithm in the sense of
+// Definition 1 — a node only attempts links it sits on, and only after a
+// message (an established open path) has reached it.
+//
+// maxEvents caps the engine (0 = unlimited). The outcome's Attempts is
+// comparable to BFSLocal's probe count on the same sample: each cluster
+// edge is attempted at most twice (once per endpoint) and each boundary
+// edge at most twice.
+func DistributedBFS(s percolation.Sample, src, dst graph.Vertex, maxEvents int) (*FloodOutcome, error) {
+	eng := &Engine{}
+	nw, err := NewNetwork(eng, s, 1)
+	if err != nil {
+		return nil, err
+	}
+	g := s.Graph()
+	out := &FloodOutcome{}
+
+	visited := make(map[graph.Vertex]bool)
+
+	// forward floods EXPLORE from v to all neighbors except the one the
+	// message arrived from.
+	forward := func(v, except graph.Vertex, pathSoFar []graph.Vertex) error {
+		deg := g.Degree(v)
+		for i := 0; i < deg; i++ {
+			w := g.Neighbor(v, i)
+			if w == except {
+				continue
+			}
+			if err := nw.Send(v, w, kindExplore, pathPayload{path: pathSoFar}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var protoErr error
+	nw.SetDefaultHandler(func(v graph.Vertex, m Message) {
+		switch m.Kind {
+		case kindExplore:
+			if visited[v] {
+				return
+			}
+			visited[v] = true
+			pp := m.Payload.(pathPayload)
+			path := append(append([]graph.Vertex(nil), pp.path...), v)
+			if v == dst {
+				// Begin the echo back along the (open) discovered path.
+				prev := path[len(path)-2]
+				if err := nw.Send(v, prev, kindFound, pathPayload{path: path}); err != nil {
+					protoErr = err
+					eng.Stop()
+				}
+				return
+			}
+			if err := forward(v, m.From, path); err != nil {
+				protoErr = err
+				eng.Stop()
+			}
+		case kindFound:
+			pp := m.Payload.(pathPayload)
+			if v == src {
+				out.Found = true
+				out.Path = pp.path
+				out.Time = eng.Now()
+				eng.Stop()
+				return
+			}
+			// Relay toward the source along the recorded path.
+			idx := -1
+			for i, x := range pp.path {
+				if x == v {
+					idx = i
+					break
+				}
+			}
+			if idx <= 0 {
+				protoErr = fmt.Errorf("sim: found-echo lost its way at %d", v)
+				eng.Stop()
+				return
+			}
+			if err := nw.Send(v, pp.path[idx-1], kindFound, pp); err != nil {
+				protoErr = err
+				eng.Stop()
+			}
+		}
+	})
+
+	// Kick off: the source is visited and floods to all neighbors.
+	visited[src] = true
+	if src == dst {
+		out.Found = true
+		out.Path = []graph.Vertex{src}
+		return out, nil
+	}
+	if err := forward(src, src, []graph.Vertex{src}); err != nil {
+		return nil, err
+	}
+
+	out.Events = eng.Run(maxEvents)
+	if protoErr != nil {
+		return nil, protoErr
+	}
+	if !out.Found {
+		out.Time = eng.Now()
+	}
+	out.Attempts = nw.Attempts
+	out.Delivered = nw.Delivered
+	out.Dropped = nw.Dropped
+	return out, nil
+}
