@@ -8,6 +8,17 @@
 //	faultroute -graph mesh -d 2 -side 50 -p 0.55 -src 0 -dst 2499 -router path-follow
 //	faultroute -graph doubletree -n 20 -p 0.8 -router double-tree-oracle -mode oracle
 //	faultroute -graph complete -n 1000 -p 0.003 -router gnp-oracle -mode oracle
+//
+// With -trials N (N > 0) the command estimates the full routing
+// complexity distribution of Definition 2 instead of performing one
+// run: N percolation samples conditioned on {src ~ dst}, sharded
+// across -workers goroutines. -psweep batches several retention
+// probabilities through one worker pool:
+//
+//	faultroute -graph hypercube -n 12 -trials 50
+//	faultroute -graph hypercube -n 12 -trials 50 -psweep 0.3,0.4,0.5 -workers 4
+//
+// Output is bit-identical for every -workers value.
 package main
 
 import (
@@ -15,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"faultroute"
@@ -30,18 +43,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultroute", flag.ContinueOnError)
 	var (
-		family = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring")
-		n      = fs.Int("n", 10, "size parameter (dimension, depth, or order depending on -graph)")
-		d      = fs.Int("d", 2, "mesh/torus dimension")
-		side   = fs.Int("side", 16, "mesh/torus side length")
-		p      = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
-		seed   = fs.Uint64("seed", 1, "percolation seed")
-		src    = fs.Uint64("src", 0, "source vertex")
-		dst    = fs.Int64("dst", -1, "destination vertex (-1: topology default, e.g. the antipode)")
-		router = fs.String("router", "", "router: bfs-local, greedy, path-follow, double-tree-oracle, gnp-local, gnp-oracle (default: best fit for the topology)")
-		mode   = fs.String("mode", "local", "probe model: local or oracle")
-		budget = fs.Int("budget", 0, "probe budget, 0 = unlimited")
-		show   = fs.Bool("show-path", false, "print the full path")
+		family  = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring")
+		n       = fs.Int("n", 10, "size parameter (dimension, depth, or order depending on -graph)")
+		d       = fs.Int("d", 2, "mesh/torus dimension")
+		side    = fs.Int("side", 16, "mesh/torus side length")
+		p       = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
+		seed    = fs.Uint64("seed", 1, "percolation seed")
+		src     = fs.Uint64("src", 0, "source vertex")
+		dst     = fs.Int64("dst", -1, "destination vertex (-1: topology default, e.g. the antipode)")
+		router  = fs.String("router", "", "router: bfs-local, greedy, path-follow, double-tree-oracle, gnp-local, gnp-oracle (default: best fit for the topology)")
+		mode    = fs.String("mode", "local", "probe model: local or oracle")
+		budget  = fs.Int("budget", 0, "probe budget, 0 = unlimited")
+		show    = fs.Bool("show-path", false, "print the full path")
+		trials  = fs.Int("trials", 0, "estimate the complexity distribution over this many conditioned samples (0 = single run)")
+		tries   = fs.Int("tries", 100, "conditioning retry budget per trial (estimate mode)")
+		psweep  = fs.String("psweep", "", "comma-separated p values to batch in estimate mode (default: just -p)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines in estimate mode (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +95,13 @@ func run(args []string) error {
 		return fmt.Errorf("endpoints (%d, %d) out of range [0, %d)", source, target, g.Order())
 	}
 
+	if *trials > 0 {
+		return estimate(spec, source, target, *trials, *tries, *seed, *workers, *psweep)
+	}
+	if *psweep != "" {
+		return fmt.Errorf("-psweep requires estimate mode: pass -trials N (N > 0)")
+	}
+
 	fmt.Printf("%s  p=%v seed=%d  %s/%s  %d -> %d\n",
 		g.Name(), *p, *seed, r.Name(), spec.Mode, source, target)
 	out, err := faultroute.Run(spec, source, target, *seed)
@@ -101,6 +125,44 @@ func run(args []string) error {
 		fmt.Printf("budget exhausted after %d probes without finding a path\n", out.Probes)
 	default:
 		return out.Err
+	}
+	return nil
+}
+
+// estimate runs the multi-trial, multi-p estimate mode: one
+// EstimateBatch submission whose trials all share a single worker pool.
+func estimate(spec faultroute.Spec, src, dst faultroute.Vertex, trials, tries int, seed uint64, workers int, psweep string) error {
+	ps := []float64{spec.P}
+	if psweep != "" {
+		ps = ps[:0]
+		for _, part := range strings.Split(psweep, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("bad -psweep value %q: %w", part, err)
+			}
+			ps = append(ps, p)
+		}
+	}
+	reqs := make([]faultroute.EstimateRequest, len(ps))
+	for i, p := range ps {
+		s := spec
+		s.P = p
+		reqs[i] = faultroute.EstimateRequest{
+			Spec: s, Src: src, Dst: dst,
+			Trials: trials, MaxTries: tries, Seed: seed,
+		}
+	}
+	fmt.Printf("%s  seed=%d  %s/%s  %d -> %d  (%d trials per p, %d workers)\n",
+		spec.Graph.Name(), seed, spec.Router.Name(), spec.Mode, src, dst, trials, workers)
+	results, err := faultroute.EstimateBatch(reqs, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s  %6s  %8s  %8s  %8s  %8s  %8s  %8s\n",
+		"p", "pairs", "mean", "median", "p90", "max", "censored", "rejected")
+	for i, c := range results {
+		fmt.Printf("%8.4f  %6d  %8.1f  %8.1f  %8.1f  %8.0f  %8d  %8d\n",
+			ps[i], c.Trials, c.Mean, c.Median, c.P90, c.Max, c.Censored, c.Rejected)
 	}
 	return nil
 }

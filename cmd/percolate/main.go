@@ -7,12 +7,17 @@
 //	percolate -graph hypercube -n 12 -sweep 0.05,0.08,0.1,0.15,0.3
 //	percolate -graph mesh -side 40 -threshold
 //	percolate -graph doubletree -n 12 -threshold
+//	percolate -graph torus -side 30 -clusters -workers 4
+//
+// Sweeps and threshold searches shard their Monte-Carlo work across
+// -workers goroutines; output is identical for every -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -41,6 +46,7 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "base seed")
 		threshold = fs.Bool("threshold", false, "bisect for the p where a canonical connection event has probability 1/2")
 		clusters  = fs.Bool("clusters", false, "report cluster statistics (theta, susceptibility) instead of giant fractions")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the Monte-Carlo sweeps (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +58,7 @@ func run(args []string) error {
 	}
 
 	if *threshold {
-		return findThreshold(g, *family, *trials, *seed)
+		return findThreshold(g, *family, *trials, *seed, *workers)
 	}
 
 	ps, err := parseSweep(*sweep)
@@ -60,7 +66,7 @@ func run(args []string) error {
 		return err
 	}
 	if *clusters {
-		rows, err := percolation.ClusterScan(g, ps, *trials, *seed)
+		rows, err := percolation.ClusterScanWorkers(g, ps, *trials, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -72,7 +78,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	rows, err := percolation.GiantScan(g, ps, *trials, *seed)
+	rows, err := percolation.GiantScanWorkers(g, ps, *trials, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -87,7 +93,7 @@ func run(args []string) error {
 // findThreshold bisects for the p at which a family-appropriate
 // connectivity event crosses probability 1/2: root linkage for double
 // trees, corner-to-corner connection otherwise.
-func findThreshold(g faultroute.Graph, family string, trials int, seed uint64) error {
+func findThreshold(g faultroute.Graph, family string, trials int, seed uint64, workers int) error {
 	var (
 		event func(p float64, s uint64) bool
 		desc  string
@@ -107,7 +113,7 @@ func findThreshold(g faultroute.Graph, family string, trials int, seed uint64) e
 		}
 		desc = fmt.Sprintf("connection of vertices %d and %d", u, v)
 	}
-	pc, err := percolation.FindThreshold(0.01, 0.99, 0.5, 0.005, trials*20, seed, event)
+	pc, err := percolation.FindThresholdWorkers(0.01, 0.99, 0.5, 0.005, trials*20, seed, workers, event)
 	if err != nil {
 		return err
 	}

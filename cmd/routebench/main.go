@@ -1,5 +1,6 @@
 // Command routebench regenerates the paper's evaluation: it runs the
-// experiments E1..E13 cataloged in DESIGN.md and prints their tables.
+// experiments E1..E18 cataloged in EXPERIMENTS.md and prints their
+// tables.
 //
 // Usage:
 //
@@ -7,12 +8,18 @@
 //	routebench                       run everything at quick scale
 //	routebench -scale full           run everything at paper scale
 //	routebench -exp E3,E7 -seed 7    run a subset
+//	routebench -workers 4            cap trial-level parallelism
+//
+// Tables are bit-identical for every -workers value (each trial's
+// randomness is split from the seed and the trial index, never from
+// scheduling), so -workers only changes the wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,12 +36,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("routebench", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list experiments and exit")
-		ids    = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed   = fs.Uint64("seed", 1, "base random seed (same seed, same tables)")
-		scale  = fs.String("scale", "quick", "parameter scale: quick or full")
-		plots  = fs.Bool("plot", false, "also render ASCII figures for experiments that define them")
-		format = fs.String("format", "text", "table format: text, csv, or markdown")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		ids     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed    = fs.Uint64("seed", 1, "base random seed (same seed, same tables)")
+		scale   = fs.String("scale", "quick", "parameter scale: quick or full")
+		plots   = fs.Bool("plot", false, "also render ASCII figures for experiments that define them")
+		format  = fs.String("format", "text", "table format: text, csv, or markdown")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for trial-level parallelism (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +55,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	cfg := exp.Config{Seed: *seed}
+	cfg := exp.Config{Seed: *seed, Workers: *workers}
 	switch *scale {
 	case "quick":
 		cfg.Scale = exp.ScaleQuick

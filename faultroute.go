@@ -23,8 +23,11 @@
 //	fmt.Printf("median probes: %v\n", c.Median)
 //
 // The package is a facade: the substance lives in the internal packages
-// (graph, percolation, probe, route, core, exp, sim, overlay), re-exported
-// here as type aliases so downstream code needs a single import.
+// (graph, percolation, probe, route, runner, core, exp, sim, overlay),
+// re-exported here as type aliases so downstream code needs a single
+// import. Multi-trial estimates shard across a deterministic worker
+// pool — see EstimateWorkers and EstimateBatch; results are
+// bit-identical for every worker count.
 package faultroute
 
 import (
@@ -65,7 +68,7 @@ type (
 	Complexity = core.Complexity
 	// Mode selects local or oracle probing.
 	Mode = core.Mode
-	// Experiment is one reproducible paper experiment (E1..E13).
+	// Experiment is one reproducible paper experiment (E1..E18).
 	Experiment = exp.Experiment
 	// ExperimentConfig parameterizes experiment runs.
 	ExperimentConfig = exp.Config
@@ -276,9 +279,30 @@ func Run(spec Spec, src, dst Vertex, seed uint64) (Outcome, error) {
 }
 
 // Estimate measures the routing-complexity distribution over `trials`
-// samples conditioned on {src ~ dst}; see core.Estimate.
+// samples conditioned on {src ~ dst}; see core.Estimate. It is the
+// single-worker case of EstimateWorkers.
 func Estimate(spec Spec, src, dst Vertex, trials, maxTries int, seed uint64) (Complexity, error) {
 	return core.Estimate(spec, src, dst, trials, maxTries, seed)
+}
+
+// EstimateWorkers is Estimate with its trials sharded across a worker
+// pool (workers <= 0 selects all cores). Results are bit-identical for
+// every workers value: each trial's randomness is split from (seed,
+// trial index), never from scheduling. See core.EstimateWorkers.
+func EstimateWorkers(spec Spec, src, dst Vertex, trials, maxTries int, seed uint64, workers int) (Complexity, error) {
+	return core.EstimateWorkers(spec, src, dst, trials, maxTries, seed, workers)
+}
+
+// EstimateRequest is one Estimate submission within a batch.
+type EstimateRequest = core.Request
+
+// EstimateBatch runs many estimates — a whole sweep of vertex pairs
+// and retention probabilities — through one shared worker pool, so the
+// pool stays saturated even when each request has few trials. Results
+// arrive in request order, bit-identical to estimating each request
+// separately. See core.EstimateBatch.
+func EstimateBatch(reqs []EstimateRequest, workers int) ([]Complexity, error) {
+	return core.EstimateBatch(reqs, workers)
 }
 
 // ValidatePath checks that path is a genuine open path of s from src to
@@ -289,7 +313,7 @@ func ValidatePath(s Sample, path Path, src, dst Vertex) error {
 
 // Experiments.
 
-// Experiments returns the full registry E1..E13 in order.
+// Experiments returns the full registry E1..E18 in order.
 func Experiments() []Experiment { return exp.All() }
 
 // ExperimentByID looks up one experiment, e.g. "E3".

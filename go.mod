@@ -1,0 +1,3 @@
+module faultroute
+
+go 1.21

@@ -12,12 +12,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"faultroute/internal/graph"
 	"faultroute/internal/percolation"
 	"faultroute/internal/probe"
 	"faultroute/internal/rng"
 	"faultroute/internal/route"
+	"faultroute/internal/runner"
 	"faultroute/internal/stats"
 )
 
@@ -137,12 +139,111 @@ type Complexity struct {
 	Rejected int
 }
 
+// TrialResult is the outcome of one conditioned trial of an Estimate:
+// either an accepted probe count, a censored run, or an error. Rejected
+// counts the percolation samples the trial discarded while conditioning
+// on {src ~ dst}.
+type TrialResult struct {
+	// Probes is comp(A) for this trial, valid when Accepted.
+	Probes float64
+	// Accepted reports a successfully routed (uncensored) run.
+	Accepted bool
+	// Censored reports a run that hit the probe budget.
+	Censored bool
+	// Rejected counts conditioning rejections within this trial.
+	Rejected int
+	// Err is non-nil for spec/infrastructure failures or when the
+	// conditioning event never occurred within maxTries.
+	Err error
+}
+
+// EstimateTrial runs trial number `trial` of an Estimate: it derives
+// the trial's independent random stream from (seed, trial) by
+// stream-splitting, rejection-samples percolation configurations until
+// {src ~ dst} holds (at most maxTries), and routes once on the accepted
+// sample. It is the parallel engine's unit of work: the result depends
+// only on the arguments, never on which worker runs it.
+func EstimateTrial(spec Spec, src, dst graph.Vertex, trial, maxTries int, seed uint64) TrialResult {
+	trialSeed := rng.Combine(seed, uint64(trial))
+	var res TrialResult
+	for try := 0; try < maxTries; try++ {
+		sampleSeed := rng.Combine(trialSeed, uint64(try))
+		comps, err := percolation.Label(percolation.New(spec.Graph, spec.P, sampleSeed))
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if !comps.Connected(src, dst) {
+			res.Rejected++
+			continue
+		}
+		o, err := Run(spec, src, dst, sampleSeed)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		switch {
+		case o.Err == nil:
+			res.Probes = float64(o.Probes)
+			res.Accepted = true
+		case errors.Is(o.Err, probe.ErrBudget):
+			res.Censored = true
+		default:
+			res.Err = fmt.Errorf("core: router failed on a connected pair: %w", o.Err)
+		}
+		return res
+	}
+	res.Err = fmt.Errorf(
+		"%w: {%d ~ %d} did not occur in %d samples at p = %v",
+		ErrConditioning, src, dst, maxTries, spec.P)
+	return res
+}
+
+// MergeTrials folds per-trial results — in trial order — into a single
+// Complexity. Passing results in trial order is what makes the merge
+// bit-identical to the sequential path regardless of how many workers
+// produced them. The first error in trial order aborts the merge.
+func MergeTrials(results []TrialResult) (Complexity, error) {
+	var out Complexity
+	probes := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return Complexity{}, r.Err
+		}
+		out.Rejected += r.Rejected
+		if r.Censored {
+			out.Censored++
+		}
+		if r.Accepted {
+			probes = append(probes, r.Probes)
+		}
+	}
+	sum, err := stats.Summarize(probes, out.Censored)
+	if err != nil && out.Censored == 0 {
+		return Complexity{}, err
+	}
+	out.Summary = sum
+	out.Trials = len(probes)
+	return out, nil
+}
+
 // Estimate measures the routing complexity of spec between src and dst
 // over `trials` percolation samples conditioned on {src ~ dst}, exactly
 // as Definition 2 prescribes. Conditioning uses exact component labeling
 // and therefore requires a finite (labelable) graph; maxTries bounds the
 // rejection sampling per trial.
+//
+// Estimate is the single-worker case of EstimateWorkers; both produce
+// bit-identical results for the same arguments.
 func Estimate(spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint64) (Complexity, error) {
+	return EstimateWorkers(spec, src, dst, trials, maxTries, seed, 1)
+}
+
+// EstimateWorkers is Estimate with its trials sharded across a worker
+// pool. Each trial's randomness is split from (seed, trial index), so
+// the returned Complexity is bit-identical for every workers value;
+// workers only sets the concurrency (<= 0 selects all cores).
+func EstimateWorkers(spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint64, workers int) (Complexity, error) {
 	if err := spec.validate(); err != nil {
 		return Complexity{}, err
 	}
@@ -152,49 +253,66 @@ func Estimate(spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint6
 	if maxTries <= 0 {
 		maxTries = 100
 	}
-	var (
-		probes []float64
-		out    Complexity
-	)
-	for trial := 0; trial < trials; trial++ {
-		trialSeed := rng.Combine(seed, uint64(trial))
-		accepted := false
-		for try := 0; try < maxTries; try++ {
-			sampleSeed := rng.Combine(trialSeed, uint64(try))
-			comps, err := percolation.Label(percolation.New(spec.Graph, spec.P, sampleSeed))
-			if err != nil {
-				return Complexity{}, err
-			}
-			if !comps.Connected(src, dst) {
-				out.Rejected++
-				continue
-			}
-			o, err := Run(spec, src, dst, sampleSeed)
-			if err != nil {
-				return Complexity{}, err
-			}
-			switch {
-			case o.Err == nil:
-				probes = append(probes, float64(o.Probes))
-			case errors.Is(o.Err, probe.ErrBudget):
-				out.Censored++
-			default:
-				return Complexity{}, fmt.Errorf("core: router failed on a connected pair: %w", o.Err)
-			}
-			accepted = true
-			break
-		}
-		if !accepted {
-			return Complexity{}, fmt.Errorf(
-				"%w: {%d ~ %d} did not occur in %d samples at p = %v",
-				ErrConditioning, src, dst, maxTries, spec.P)
-		}
-	}
-	sum, err := stats.Summarize(probes, out.Censored)
-	if err != nil && out.Censored == 0 {
+	results, err := runner.Map(runner.New(workers), trials, func(trial int) (TrialResult, error) {
+		r := EstimateTrial(spec, src, dst, trial, maxTries, seed)
+		return r, r.Err
+	})
+	if err != nil {
 		return Complexity{}, err
 	}
-	out.Summary = sum
-	out.Trials = len(probes)
+	return MergeTrials(results)
+}
+
+// Request is one Estimate submission within a batch: a spec, a vertex
+// pair, and the trial schedule, carrying its own seed so batch layout
+// never affects results.
+type Request struct {
+	Spec     Spec
+	Src, Dst graph.Vertex
+	Trials   int
+	MaxTries int
+	Seed     uint64
+}
+
+// EstimateBatch runs many estimates — a whole sweep row of vertex pairs
+// and retention probabilities — through one shared worker pool. All
+// trials of all requests are flattened into a single work queue, so the
+// pool stays saturated even when each individual request has only a few
+// trials. Results arrive in request order and are bit-identical to
+// calling Estimate on each request separately.
+func EstimateBatch(reqs []Request, workers int) ([]Complexity, error) {
+	offsets := make([]int, len(reqs)+1)
+	for i, r := range reqs {
+		if err := r.Spec.validate(); err != nil {
+			return nil, err
+		}
+		if r.Trials <= 0 {
+			return nil, errors.New("core: trials must be positive")
+		}
+		offsets[i+1] = offsets[i] + r.Trials
+	}
+	total := offsets[len(reqs)]
+	results, err := runner.Map(runner.New(workers), total, func(flat int) (TrialResult, error) {
+		// Locate the request owning this flat index.
+		ri := sort.Search(len(reqs), func(i int) bool { return offsets[i+1] > flat })
+		req := reqs[ri]
+		maxTries := req.MaxTries
+		if maxTries <= 0 {
+			maxTries = 100
+		}
+		r := EstimateTrial(req.Spec, req.Src, req.Dst, flat-offsets[ri], maxTries, req.Seed)
+		return r, r.Err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Complexity, len(reqs))
+	for i := range reqs {
+		c, err := MergeTrials(results[offsets[i]:offsets[i+1]])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
 	return out, nil
 }

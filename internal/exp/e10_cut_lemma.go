@@ -37,13 +37,25 @@ func runE10(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		// Measure eta: the probability a uniformly chosen leaf's B-branch
-		// (its unique path to root B within S) is fully open.
+		// (its unique path to root B within S) is fully open. The leaf
+		// choices come from one sequential stream (drawn up front, so the
+		// sequence is identical at any worker count); the per-trial
+		// percolation sampling is what fans out.
 		str := rng.NewStream(rng.Combine(cfg.Seed, uint64(1000+di)))
-		hits := 0
-		for trial := 0; trial < trials; trial++ {
+		leaves := make([]graph.Vertex, trials)
+		for trial := range leaves {
+			leaves[trial] = g.Leaf(str.Uint64n(g.NumLeaves()))
+		}
+		hitFlags, err := parTrials(cfg, trials, func(trial int) (bool, error) {
 			s := percolation.New(g, p, cfg.trialSeed(uint64(di), uint64(trial)))
-			leaf := g.Leaf(str.Uint64n(g.NumLeaves()))
-			if branchOpen(g, s, leaf) {
+			return branchOpen(g, s, leaves[trial]), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits := 0
+		for _, h := range hitFlags {
+			if h {
 				hits++
 			}
 		}
@@ -51,18 +63,30 @@ func runE10(cfg Config) (*Table, error) {
 
 		// Measure the local routing cost between the roots, conditioned
 		// on connectivity (exact labeling at these depths).
-		var probes []float64
-		for trial := 0; trial < routeTrials; trial++ {
+		type trialResult struct {
+			probes float64
+			ok     bool
+		}
+		results, err := parTrials(cfg, routeTrials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(100+di), uint64(trial))
 			s, _, _, err := connectedSample(g, p, g.RootA(), g.RootB(), seed, 400)
 			if err != nil {
-				continue
+				return trialResult{}, nil
 			}
 			pr := probe.NewLocal(s, g.RootA(), 0)
 			if _, err := route.NewBFSLocal().Route(pr, g.RootA(), g.RootB()); err != nil {
-				return nil, fmt.Errorf("E10: depth %d: %w", d, err)
+				return trialResult{}, fmt.Errorf("E10: depth %d: %w", d, err)
 			}
-			probes = append(probes, float64(pr.Count()))
+			return trialResult{probes: float64(pr.Count()), ok: true}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var probes []float64
+		for _, r := range results {
+			if r.ok {
+				probes = append(probes, r.probes)
+			}
 		}
 		eta := pow(p, d)
 		floor := 1 / eta

@@ -34,18 +34,20 @@ func runE11(cfg Config) (*Table, error) {
 		"p", "lookups", "greedy ok%", "flood ok%", "greedy msgs", "flood msgs", "flood hops")
 
 	routingTransition := math.Pow(float64(n), -0.5)
+	type trialResult struct {
+		done, greedyOK, floodOK bool
+		gm, fm, fh              float64
+	}
 	for pi, p := range ps {
-		var greedyOK, floodOK, done int
-		var gm, fm, fh []float64
-		for trial := 0; trial < trials && done < trials; trial++ {
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(pi), uint64(trial))
 			o, err := overlay.New(n, p, seed)
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			comps, err := percolation.Label(o.Sample())
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			str := rng.NewStream(rng.Combine(seed, 7))
 			key := str.Uint64()
@@ -53,23 +55,44 @@ func runE11(cfg Config) (*Table, error) {
 			// Condition on the lookup being possible at all: requester
 			// and owner in the same open component.
 			if !comps.Connected(from, o.Owner(key)) {
-				continue
+				return trialResult{}, nil
 			}
-			done++
+			out := trialResult{done: true}
 			if res, err := o.GreedyLookup(from, key); err == nil {
-				greedyOK++
-				gm = append(gm, float64(res.Messages))
+				out.greedyOK = true
+				out.gm = float64(res.Messages)
 			} else if !errors.Is(err, overlay.ErrLookupFailed) {
-				return nil, err
+				return trialResult{}, err
 			}
 			res, err := o.FloodLookup(from, key, 20*n)
 			if err != nil && !errors.Is(err, overlay.ErrLookupFailed) {
-				return nil, err
+				return trialResult{}, err
 			}
 			if err == nil {
+				out.floodOK = true
+				out.fm = float64(res.Messages)
+				out.fh = float64(res.Hops)
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var greedyOK, floodOK, done int
+		var gm, fm, fh []float64
+		for _, r := range results {
+			if !r.done {
+				continue
+			}
+			done++
+			if r.greedyOK {
+				greedyOK++
+				gm = append(gm, r.gm)
+			}
+			if r.floodOK {
 				floodOK++
-				fm = append(fm, float64(res.Messages))
-				fh = append(fh, float64(res.Hops))
+				fm = append(fm, r.fm)
+				fh = append(fh, r.fh)
 			}
 		}
 		if done == 0 {

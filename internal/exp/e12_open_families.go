@@ -44,21 +44,25 @@ func runE12(cfg Config) (*Table, error) {
 		"on these families routing cost tracks the full cluster: no p-regime found where the giant exists but probes/cluster-edges stays o(1) — consistent with (but not settling) the conjecture that the transitions coincide",
 		"family", "p", "giant frac", "pairs", "median probes", "probes/E", "path len")
 
+	type pairResult struct {
+		probes, plen float64
+	}
+	type trialResult struct {
+		giantFrac float64
+		pairs     []pairResult
+	}
 	for fi, g := range families {
+		g := g
 		edges := float64(graph.NumEdges(g))
 		for pi, p := range ps {
-			var probesArr, plens []float64
-			var giantFrac float64
-			samples := 0
-			for trial := 0; trial < trials; trial++ {
+			results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 				seed := cfg.trialSeed(uint64(fi*100+pi), uint64(trial))
 				s := percolation.New(g, p, seed)
 				comps, err := percolation.Label(s)
 				if err != nil {
-					return nil, err
+					return trialResult{}, err
 				}
-				giantFrac += comps.GiantFraction()
-				samples++
+				out := trialResult{giantFrac: comps.GiantFraction()}
 				str := rng.NewStream(rng.Combine(seed, 3))
 				for k := 0; k < pairsPer; k++ {
 					u, v, ok := giantPair(g, comps, str, 0, 200)
@@ -68,13 +72,30 @@ func runE12(cfg Config) (*Table, error) {
 					pr := probe.NewLocal(s, u, 0)
 					path, err := route.NewBFSLocal().Route(pr, u, v)
 					if errors.Is(err, route.ErrNoPath) {
-						return nil, fmt.Errorf("E12: giant pair disconnected (bug): %w", err)
+						return trialResult{}, fmt.Errorf("E12: giant pair disconnected (bug): %w", err)
 					}
 					if err != nil {
-						return nil, err
+						return trialResult{}, err
 					}
-					probesArr = append(probesArr, float64(pr.Count()))
-					plens = append(plens, float64(path.Len()))
+					out.pairs = append(out.pairs, pairResult{
+						probes: float64(pr.Count()),
+						plen:   float64(path.Len()),
+					})
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var probesArr, plens []float64
+			var giantFrac float64
+			samples := 0
+			for _, r := range results {
+				giantFrac += r.giantFrac
+				samples++
+				for _, pr := range r.pairs {
+					probesArr = append(probesArr, pr.probes)
+					plens = append(plens, pr.plen)
 				}
 			}
 			giantFrac /= float64(samples)

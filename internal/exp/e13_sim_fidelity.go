@@ -44,29 +44,45 @@ func runE13(cfg Config) (*Table, error) {
 		"attempts/probes stays within small constants; agreement on reachability is exact",
 		"instance", "p", "runs", "agree", "mean attempts", "mean probes", "ratio", "mean rounds")
 
+	type trialResult struct {
+		attempts, probes, rounds float64
+		agree                    bool
+	}
 	for ii, in := range instances {
-		var attempts, probes, rounds []float64
-		agree := 0
-		runs := 0
-		for trial := 0; trial < trials; trial++ {
+		in := in
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ii), uint64(trial))
 			s := percolation.New(in.g, in.p, seed)
 			out, err := sim.DistributedBFS(s, in.src, in.dst, 0)
 			if err != nil {
-				return nil, fmt.Errorf("E13 %s: %w", in.name, err)
+				return trialResult{}, fmt.Errorf("E13 %s: %w", in.name, err)
 			}
 			pr := probe.NewLocal(s, in.src, 0)
 			_, rerr := route.NewBFSLocal().Route(pr, in.src, in.dst)
 			if rerr != nil && !errors.Is(rerr, route.ErrNoPath) {
-				return nil, rerr
+				return trialResult{}, rerr
 			}
+			return trialResult{
+				attempts: float64(out.Attempts),
+				probes:   float64(pr.Count()),
+				rounds:   out.Time,
+				agree:    out.Found == (rerr == nil),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var attempts, probes, rounds []float64
+		agree := 0
+		runs := 0
+		for _, r := range results {
 			runs++
-			if out.Found == (rerr == nil) {
+			if r.agree {
 				agree++
 			}
-			attempts = append(attempts, float64(out.Attempts))
-			probes = append(probes, float64(pr.Count()))
-			rounds = append(rounds, out.Time)
+			attempts = append(attempts, r.attempts)
+			probes = append(probes, r.probes)
+			rounds = append(rounds, r.rounds)
 		}
 		as, err := stats.Summarize(attempts, 0)
 		if err != nil {

@@ -15,7 +15,7 @@ func init() {
 	register(Experiment{
 		ID:    "E14",
 		Title: "Ablation: router design choices on the percolated hypercube",
-		Claim: "Design-choice study (DESIGN.md): waypoint-following vs best-first greedy vs exhaustive BFS vs greedy+rescue. All complete routers agree on reachability; they differ in constants, and no choice escapes the Theorem 3(i) blow-up past alpha = 1/2.",
+		Claim: "Design-choice study (EXPERIMENTS.md): waypoint-following vs best-first greedy vs exhaustive BFS vs greedy+rescue. All complete routers agree on reachability; they differ in constants, and no choice escapes the Theorem 3(i) blow-up past alpha = 1/2.",
 		Run:   runE14,
 	})
 }
@@ -40,28 +40,45 @@ func runE14(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	type trialResult struct {
+		probes []float64 // one entry per router
+		ok     bool
+	}
 	for ai, alpha := range alphas {
 		p := math.Pow(float64(n), -alpha)
-		sums := make([][]float64, len(routers))
-		pairs := 0
-		for trial := 0; trial < trials; trial++ {
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ai), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
 			s, _, _, err := connectedSample(g, p, u, v, seed, 200)
 			if errors.Is(err, ErrConditioning) {
-				continue
+				return trialResult{}, nil
 			}
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
-			pairs++
+			out := trialResult{probes: make([]float64, len(routers)), ok: true}
 			for ri, r := range routers {
 				pr := probe.NewLocal(s, u, 0)
 				if _, err := r.Route(pr, u, v); err != nil {
-					return nil, fmt.Errorf("E14: %s at alpha=%.2f: %w", r.Name(), alpha, err)
+					return trialResult{}, fmt.Errorf("E14: %s at alpha=%.2f: %w", r.Name(), alpha, err)
 				}
-				sums[ri] = append(sums[ri], float64(pr.Count()))
+				out.probes[ri] = float64(pr.Count())
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sums := make([][]float64, len(routers))
+		pairs := 0
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			pairs++
+			for ri := range routers {
+				sums[ri] = append(sums[ri], r.probes[ri])
 			}
 		}
 		row := []interface{}{alpha, p, pairs}

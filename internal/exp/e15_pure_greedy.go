@@ -40,34 +40,55 @@ func runE15(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	var figX, figG, figR []float64
+	type trialResult struct {
+		ok, greedyOK, rescueOK bool
+		hops                   float64
+	}
 	for ai, alpha := range alphas {
 		p := math.Pow(float64(n), -alpha)
-		var greedyOK, rescueOK, pairs int
-		var hops []float64
-		for trial := 0; trial < trials; trial++ {
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ai), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
 			s, _, _, err := connectedSample(g, p, u, v, seed, 100)
 			if errors.Is(err, ErrConditioning) {
-				continue
+				return trialResult{}, nil
 			}
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
-			pairs++
+			out := trialResult{ok: true}
 			prG := probe.NewLocal(s, u, 0)
 			if path, gerr := route.NewPureGreedy().Route(prG, u, v); gerr == nil {
-				greedyOK++
-				hops = append(hops, float64(path.Len()))
+				out.greedyOK = true
+				out.hops = float64(path.Len())
 			} else if !errors.Is(gerr, route.ErrStuck) {
-				return nil, gerr
+				return trialResult{}, gerr
 			}
 			prR := probe.NewLocal(s, u, 0)
 			if _, rerr := route.NewGreedyWithRescue(rescueBudget).Route(prR, u, v); rerr == nil {
-				rescueOK++
+				out.rescueOK = true
 			} else if !errors.Is(rerr, route.ErrStuck) && !errors.Is(rerr, route.ErrNoPath) {
-				return nil, rerr
+				return trialResult{}, rerr
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var greedyOK, rescueOK, pairs int
+		var hops []float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			pairs++
+			if r.greedyOK {
+				greedyOK++
+				hops = append(hops, r.hops)
+			}
+			if r.rescueOK {
+				rescueOK++
 			}
 		}
 		if pairs == 0 {

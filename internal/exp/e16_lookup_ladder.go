@@ -33,59 +33,80 @@ func runE16(cfg Config) (*Table, error) {
 		"each rung up the ladder (greedy -> monotone backtrack -> detour DFS -> flood -> gossip) buys success with messages; only unbounded-search strategies survive below the routing transition",
 		"p", "lookups", "greedy", "backtrack", "dfs", "flood", "gossip", "dfs msgs", "flood msgs", "gossip msgs")
 
+	type trialResult struct {
+		done bool
+		ok   [5]bool
+		msgs [5]float64
+	}
 	for pi, p := range ps {
-		var done int
-		okCount := make([]int, 5)
-		msgSum := make([]float64, 5)
-		for trial := 0; trial < trials; trial++ {
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(pi), uint64(trial))
 			o, err := overlay.New(n, p, seed)
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			comps, err := percolation.Label(o.Sample())
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			str := rng.NewStream(rng.Combine(seed, 5))
 			key := str.Uint64()
 			from := graph.Vertex(str.Uint64n(o.Cube().Order()))
 			owner := o.Owner(key)
 			if !comps.Connected(from, owner) {
-				continue
+				return trialResult{}, nil
 			}
-			done++
+			out := trialResult{done: true}
 			record := func(i int, found bool, msgs int) {
 				if found {
-					okCount[i]++
-					msgSum[i] += float64(msgs)
+					out.ok[i] = true
+					out.msgs[i] = float64(msgs)
 				}
 			}
 			if res, err := o.GreedyLookup(from, key); err == nil {
 				record(0, res.Found, res.Messages)
 			} else if !errors.Is(err, overlay.ErrLookupFailed) {
-				return nil, err
+				return trialResult{}, err
 			}
 			if res, err := o.BacktrackLookup(from, key, budget, false); err == nil {
 				record(1, res.Found, res.Messages)
 			} else if !errors.Is(err, overlay.ErrLookupFailed) {
-				return nil, err
+				return trialResult{}, err
 			}
 			if res, err := o.BacktrackLookup(from, key, budget, true); err == nil {
 				record(2, res.Found, res.Messages)
 			} else if !errors.Is(err, overlay.ErrLookupFailed) {
-				return nil, err
+				return trialResult{}, err
 			}
 			if res, err := o.FloodLookup(from, key, 20*n); err == nil {
 				record(3, res.Found, res.Messages)
 			} else if !errors.Is(err, overlay.ErrLookupFailed) {
-				return nil, err
+				return trialResult{}, err
 			}
 			gout, err := sim.Gossip(o.Sample(), from, owner, true, 1<<20, seed)
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			record(4, gout.ReachedTarget, gout.Attempts)
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var done int
+		okCount := make([]int, 5)
+		msgSum := make([]float64, 5)
+		for _, r := range results {
+			if !r.done {
+				continue
+			}
+			done++
+			for i := 0; i < 5; i++ {
+				if r.ok[i] {
+					okCount[i]++
+					msgSum[i] += r.msgs[i]
+				}
+			}
 		}
 		if done == 0 {
 			t.AddRow(p, 0, "-", "-", "-", "-", "-", "-", "-", "-")

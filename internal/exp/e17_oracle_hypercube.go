@@ -42,28 +42,45 @@ func runE17(cfg Config) (*Table, error) {
 		}
 		p := math.Pow(float64(n), -alpha)
 		edges := float64(g.Order()) * float64(n) / 2
-		var oracleProbes, localProbes []float64
-		for trial := 0; trial < trials; trial++ {
+		type trialResult struct {
+			oracle, local float64
+			ok            bool
+		}
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ni), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
 			s, _, _, err := connectedSample(g, p, u, v, seed, 400)
 			if errors.Is(err, ErrConditioning) {
-				continue
+				return trialResult{}, nil
 			}
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			prO := probe.NewOracle(s, 0)
 			if _, err := route.NewBidirectionalBFS().Route(prO, u, v); err != nil {
-				return nil, fmt.Errorf("E17: oracle n=%d: %w", n, err)
+				return trialResult{}, fmt.Errorf("E17: oracle n=%d: %w", n, err)
 			}
 			prL := probe.NewLocal(s, u, 0)
 			if _, err := route.NewBFSLocal().Route(prL, u, v); err != nil {
-				return nil, fmt.Errorf("E17: local n=%d: %w", n, err)
+				return trialResult{}, fmt.Errorf("E17: local n=%d: %w", n, err)
 			}
-			oracleProbes = append(oracleProbes, float64(prO.Count()))
-			localProbes = append(localProbes, float64(prL.Count()))
+			return trialResult{
+				oracle: float64(prO.Count()),
+				local:  float64(prL.Count()),
+				ok:     true,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var oracleProbes, localProbes []float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			oracleProbes = append(oracleProbes, r.oracle)
+			localProbes = append(localProbes, r.local)
 		}
 		if len(oracleProbes) == 0 {
 			t.AddRow(n, p, 0, "-", "-", "-", "-")

@@ -38,12 +38,16 @@ func runE18(cfg Config) (*Table, error) {
 	u := graph.Vertex(0)
 	v := g.Antipode(u)
 
+	type trialResult struct {
+		probes float64
+		ok     bool
+	}
 	for ai, alpha := range alphas {
 		p := math.Pow(float64(n), -alpha)
 		medians := make([]interface{}, 0, 4)
 		for mode := 0; mode < 2; mode++ {
-			var probes []float64
-			for trial := 0; trial < trials; trial++ {
+			mode := mode
+			results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 				seed := cfg.trialSeed(uint64(ai*10+mode), uint64(trial))
 				// Conditioned rejection sampling on {u ~ v} (which under
 				// site percolation implies both endpoints alive).
@@ -58,7 +62,7 @@ func runE18(cfg Config) (*Table, error) {
 					}
 					comps, err := percolation.Label(sample)
 					if err != nil {
-						return nil, err
+						return trialResult{}, err
 					}
 					if comps.Connected(u, v) {
 						accepted = true
@@ -66,13 +70,22 @@ func runE18(cfg Config) (*Table, error) {
 					}
 				}
 				if !accepted {
-					continue
+					return trialResult{}, nil
 				}
 				pr := probe.NewLocal(sample, u, 0)
 				if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
-					return nil, fmt.Errorf("E18: mode %d alpha %.2f: %w", mode, alpha, err)
+					return trialResult{}, fmt.Errorf("E18: mode %d alpha %.2f: %w", mode, alpha, err)
 				}
-				probes = append(probes, float64(pr.Count()))
+				return trialResult{probes: float64(pr.Count()), ok: true}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var probes []float64
+			for _, r := range results {
+				if r.ok {
+					probes = append(probes, r.probes)
+				}
 			}
 			if len(probes) == 0 {
 				medians = append(medians, 0, "-")

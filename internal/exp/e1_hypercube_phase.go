@@ -43,29 +43,41 @@ func runE1(cfg Config) (*Table, error) {
 		"alpha", "p", "pairs", "median", "p90", "max", ">n^3", "frac/E")
 
 	edges := float64(g.Order()) * float64(n) / 2
+	type trialResult struct {
+		probes float64
+		ok     bool
+	}
 	var figX, figY []float64
 	for ai, alpha := range alphas {
 		p := math.Pow(float64(n), -alpha)
-		var probes []float64
-		overPoly := 0
-		for trial := 0; trial < trials; trial++ {
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ai), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
 			s, _, _, err := connectedSample(g, p, u, v, seed, 200)
 			if errors.Is(err, ErrConditioning) {
-				continue // pair essentially never connected at this p
+				return trialResult{}, nil // pair essentially never connected at this p
 			}
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			pr := probe.NewLocal(s, u, 0)
 			if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
-				return nil, fmt.Errorf("E1: alpha=%.2f: %w", alpha, err)
+				return trialResult{}, fmt.Errorf("E1: alpha=%.2f: %w", alpha, err)
 			}
-			c := float64(pr.Count())
-			probes = append(probes, c)
-			if c > polyBudget {
+			return trialResult{probes: float64(pr.Count()), ok: true}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var probes []float64
+		overPoly := 0
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			probes = append(probes, r.probes)
+			if r.probes > polyBudget {
 				overPoly++
 			}
 		}

@@ -30,6 +30,10 @@ func runE2(cfg Config) (*Table, error) {
 		"log-log slope (the empirical k) should be a small constant, growing with alpha",
 		"alpha", "n", "p", "pairs", "mean", "median", "p90")
 
+	type trialResult struct {
+		probes float64
+		ok     bool
+	}
 	for ai, alpha := range alphas {
 		xs := make([]float64, 0, len(ns))
 		ys := make([]float64, 0, len(ns))
@@ -39,23 +43,31 @@ func runE2(cfg Config) (*Table, error) {
 				return nil, err
 			}
 			p := math.Pow(float64(n), -alpha)
-			var probes []float64
-			for trial := 0; trial < trials; trial++ {
+			results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 				seed := cfg.trialSeed(uint64(ai*100+ni), uint64(trial))
 				u := graph.Vertex(0)
 				v := g.Antipode(u)
 				s, _, _, err := connectedSample(g, p, u, v, seed, 100)
 				if errors.Is(err, ErrConditioning) {
-					continue
+					return trialResult{}, nil
 				}
 				if err != nil {
-					return nil, err
+					return trialResult{}, err
 				}
 				pr := probe.NewLocal(s, u, 0)
 				if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
-					return nil, fmt.Errorf("E2: n=%d alpha=%.2f: %w", n, alpha, err)
+					return trialResult{}, fmt.Errorf("E2: n=%d alpha=%.2f: %w", n, alpha, err)
 				}
-				probes = append(probes, float64(pr.Count()))
+				return trialResult{probes: float64(pr.Count()), ok: true}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var probes []float64
+			for _, r := range results {
+				if r.ok {
+					probes = append(probes, r.probes)
+				}
 			}
 			if len(probes) == 0 {
 				continue

@@ -73,6 +73,10 @@ func runE3(cfg Config) (*Table, error) {
 		"d", "p", "dist n", "pairs", "mean", "mean/n", "p90/n")
 
 	cell := uint64(0)
+	type trialResult struct {
+		probes float64
+		ok     bool
+	}
 	var figSeries []plot.Series
 	for _, sw := range sweeps {
 		for _, p := range sw.ps {
@@ -80,25 +84,34 @@ func runE3(cfg Config) (*Table, error) {
 			ys := make([]float64, 0, len(sw.ns))
 			for _, n := range sw.ns {
 				cell++
+				cellID := cell
 				g, u, v, err := meshPair(sw.d, n, 20)
 				if err != nil {
 					return nil, err
 				}
-				var probes []float64
-				for trial := 0; trial < trials; trial++ {
-					seed := cfg.trialSeed(cell, uint64(trial))
+				results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
+					seed := cfg.trialSeed(cellID, uint64(trial))
 					s, _, _, err := connectedSample(g, p, u, v, seed, 200)
 					if errors.Is(err, ErrConditioning) {
-						continue
+						return trialResult{}, nil
 					}
 					if err != nil {
-						return nil, err
+						return trialResult{}, err
 					}
 					pr := probe.NewLocal(s, u, 0)
 					if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
-						return nil, fmt.Errorf("E3: d=%d p=%.2f n=%d: %w", sw.d, p, n, err)
+						return trialResult{}, fmt.Errorf("E3: d=%d p=%.2f n=%d: %w", sw.d, p, n, err)
 					}
-					probes = append(probes, float64(pr.Count()))
+					return trialResult{probes: float64(pr.Count()), ok: true}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var probes []float64
+				for _, r := range results {
+					if r.ok {
+						probes = append(probes, r.probes)
+					}
 				}
 				if len(probes) == 0 {
 					t.AddRow(sw.d, p, n, 0, "-", "-", "-")

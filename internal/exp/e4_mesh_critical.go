@@ -31,35 +31,56 @@ func runE4(cfg Config) (*Table, error) {
 		"mean probes per unit distance grows as p decreases toward p_c(2) = 1/2 but stays finite above it",
 		"p", "pairs", "mean", "mean/n", "p90/n", "max seg", "accept%")
 
+	type trialResult struct {
+		probes    float64
+		maxSeg    float64
+		attempted int
+		ok        bool
+	}
 	for pi, p := range ps {
 		g, u, v, err := meshPair(2, n, 24)
+		if err != nil {
+			return nil, err
+		}
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
+			seed := cfg.trialSeed(uint64(pi), uint64(trial))
+			s, _, rejected, err := connectedSample(g, p, u, v, seed, 300)
+			res := trialResult{attempted: rejected + 1}
+			if errors.Is(err, ErrConditioning) {
+				return res, nil
+			}
+			if err != nil {
+				return trialResult{}, err
+			}
+			res.ok = true
+			pr := probe.NewLocal(s, u, 0)
+			_, segs, err := route.NewPathFollow().RouteWithStats(pr, u, v)
+			if err != nil {
+				return trialResult{}, fmt.Errorf("E4: p=%.2f: %w", p, err)
+			}
+			res.probes = float64(pr.Count())
+			for _, sg := range segs {
+				if f := float64(sg.Probes); f > res.maxSeg {
+					res.maxSeg = f
+				}
+			}
+			return res, nil
+		})
 		if err != nil {
 			return nil, err
 		}
 		var perStep []float64
 		var maxSeg float64
 		accepted, attempted := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.trialSeed(uint64(pi), uint64(trial))
-			s, _, rejected, err := connectedSample(g, p, u, v, seed, 300)
-			attempted += rejected + 1
-			if errors.Is(err, ErrConditioning) {
+		for _, r := range results {
+			attempted += r.attempted
+			if !r.ok {
 				continue
 			}
-			if err != nil {
-				return nil, err
-			}
 			accepted++
-			pr := probe.NewLocal(s, u, 0)
-			_, segs, err := route.NewPathFollow().RouteWithStats(pr, u, v)
-			if err != nil {
-				return nil, fmt.Errorf("E4: p=%.2f: %w", p, err)
-			}
-			perStep = append(perStep, float64(pr.Count()))
-			for _, sg := range segs {
-				if f := float64(sg.Probes); f > maxSeg {
-					maxSeg = f
-				}
+			perStep = append(perStep, r.probes)
+			if r.maxSeg > maxSeg {
+				maxSeg = r.maxSeg
 			}
 		}
 		if len(perStep) == 0 {

@@ -46,14 +46,16 @@ func runE5(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			linked := 0
-			for trial := 0; trial < trials; trial++ {
+			linkedFlags, err := parTrials(cfg, trials, func(trial int) (bool, error) {
 				seed := cfg.trialSeed(uint64(pi*100+di), uint64(trial))
 				s := percolation.New(g, p, rng.Combine(seed, 1))
-				ok, err := route.DoubleTreeRootsLinked(s, 0)
-				if err != nil {
-					return nil, err
-				}
+				return route.DoubleTreeRootsLinked(s, 0)
+			})
+			if err != nil {
+				return nil, err
+			}
+			linked := 0
+			for _, ok := range linkedFlags {
 				if ok {
 					linked++
 				}

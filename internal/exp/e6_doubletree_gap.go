@@ -40,8 +40,11 @@ func runE6(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			var localProbes, oracleProbes []float64
-			for trial := 0; trial < trials; trial++ {
+			type trialResult struct {
+				local, oracle float64
+				ok            bool
+			}
+			results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 				seed := cfg.trialSeed(uint64(pi*100+di), uint64(trial))
 				// Condition on the mirrored-branch event (the Theorem 9
 				// success event; it implies u ~ v).
@@ -51,7 +54,7 @@ func runE6(cfg Config) (*Table, error) {
 					s := percolation.New(g, p, rng.Combine(seed, uint64(try)))
 					ok, err := route.DoubleTreeRootsLinked(s, 0)
 					if err != nil {
-						return nil, err
+						return trialResult{}, err
 					}
 					if ok {
 						sample, okFound = s, true
@@ -59,18 +62,32 @@ func runE6(cfg Config) (*Table, error) {
 					}
 				}
 				if !okFound {
-					continue
+					return trialResult{}, nil
 				}
 				prO := probe.NewOracle(sample, 0)
 				if _, err := route.NewDoubleTreeOracle().Route(prO, g.RootA(), g.RootB()); err != nil {
-					return nil, fmt.Errorf("E6: oracle at depth %d: %w", d, err)
+					return trialResult{}, fmt.Errorf("E6: oracle at depth %d: %w", d, err)
 				}
 				prL := probe.NewLocal(sample, g.RootA(), 0)
 				if _, err := route.NewBFSLocal().Route(prL, g.RootA(), g.RootB()); err != nil {
-					return nil, fmt.Errorf("E6: local at depth %d: %w", d, err)
+					return trialResult{}, fmt.Errorf("E6: local at depth %d: %w", d, err)
 				}
-				oracleProbes = append(oracleProbes, float64(prO.Count()))
-				localProbes = append(localProbes, float64(prL.Count()))
+				return trialResult{
+					local:  float64(prL.Count()),
+					oracle: float64(prO.Count()),
+					ok:     true,
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var localProbes, oracleProbes []float64
+			for _, r := range results {
+				if !r.ok {
+					continue
+				}
+				oracleProbes = append(oracleProbes, r.oracle)
+				localProbes = append(localProbes, r.local)
 			}
 			if len(localProbes) == 0 {
 				t.AddRow(p, d, 0, "-", "-", "-", "-")

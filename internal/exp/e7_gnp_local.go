@@ -38,21 +38,33 @@ func runE7(cfg Config) (*Table, error) {
 		}
 		p := c / float64(n)
 		u, v := graph.Vertex(0), graph.Vertex(n-1)
-		var probes []float64
-		for trial := 0; trial < trials; trial++ {
+		type trialResult struct {
+			probes float64
+			ok     bool
+		}
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ni), uint64(trial))
 			s, _, _, err := connectedSample(g, p, u, v, seed, 50)
 			if errors.Is(err, ErrConditioning) {
-				continue
+				return trialResult{}, nil
 			}
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			pr := probe.NewLocal(s, u, 0)
 			if _, err := route.NewGnpLocal(seed).Route(pr, u, v); err != nil {
-				return nil, fmt.Errorf("E7: n=%d: %w", n, err)
+				return trialResult{}, fmt.Errorf("E7: n=%d: %w", n, err)
 			}
-			probes = append(probes, float64(pr.Count()))
+			return trialResult{probes: float64(pr.Count()), ok: true}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var probes []float64
+		for _, r := range results {
+			if r.ok {
+				probes = append(probes, r.probes)
+			}
 		}
 		if len(probes) == 0 {
 			t.AddRow(n, 0, "-", "-", "-")

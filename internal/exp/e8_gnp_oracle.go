@@ -39,29 +39,49 @@ func runE8(cfg Config) (*Table, error) {
 		}
 		p := c / float64(n)
 		u, v := graph.Vertex(0), graph.Vertex(n-1)
-		var oracleProbes, ratio []float64
-		for trial := 0; trial < trials; trial++ {
+		type trialResult struct {
+			oracle   float64
+			ratio    float64
+			ok       bool
+			hasRatio bool
+		}
+		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ni), uint64(trial))
 			s, _, _, err := connectedSample(g, p, u, v, seed, 50)
 			if errors.Is(err, ErrConditioning) {
-				continue
+				return trialResult{}, nil
 			}
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
 			prO := probe.NewOracle(s, 0)
 			if _, err := route.NewGnpBidirectional(seed).Route(prO, u, v); err != nil {
-				return nil, fmt.Errorf("E8: n=%d: %w", n, err)
+				return trialResult{}, fmt.Errorf("E8: n=%d: %w", n, err)
 			}
-			oracleProbes = append(oracleProbes, float64(prO.Count()))
+			res := trialResult{oracle: float64(prO.Count()), ok: true}
 			// The local comparison is the expensive half; sample it on a
 			// subset of trials to keep the sweep affordable.
 			if trial < trials/2+1 {
 				prL := probe.NewLocal(s, u, 0)
 				if _, err := route.NewGnpLocal(seed).Route(prL, u, v); err != nil {
-					return nil, fmt.Errorf("E8: local n=%d: %w", n, err)
+					return trialResult{}, fmt.Errorf("E8: local n=%d: %w", n, err)
 				}
-				ratio = append(ratio, float64(prL.Count())/float64(prO.Count()))
+				res.ratio = float64(prL.Count()) / float64(prO.Count())
+				res.hasRatio = true
+			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var oracleProbes, ratio []float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			oracleProbes = append(oracleProbes, r.oracle)
+			if r.hasRatio {
+				ratio = append(ratio, r.ratio)
 			}
 		}
 		if len(oracleProbes) == 0 {

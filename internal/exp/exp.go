@@ -1,9 +1,10 @@
 // Package exp is the experiment harness: it regenerates, as numeric
 // tables, every theorem-shaped claim of the paper's evaluation (the paper
-// is pure theory, so its "tables and figures" are its theorems; DESIGN.md
-// maps each to an experiment ID E1..E13). Each experiment is a pure
-// function of a Config — same seed, same table — and renders plain-text
-// tables via Table.
+// is pure theory, so its "tables and figures" are its theorems;
+// EXPERIMENTS.md maps each to an experiment ID E1..E18). Each experiment
+// is a pure function of a Config — same seed, same table, for any worker
+// count — and renders plain-text tables via Table. Trial loops fan out
+// across Config.Workers via the internal/runner pool.
 package exp
 
 import (
@@ -43,6 +44,11 @@ type Config struct {
 	Seed uint64
 	// Scale selects quick (CI-sized) or full (paper-sized) parameters.
 	Scale Scale
+	// Workers bounds the trial-level parallelism of the run (<= 0 means
+	// all cores). Every trial's randomness is split from (Seed, trial),
+	// so tables are bit-identical for every Workers value — Workers only
+	// sets how fast they arrive.
+	Workers int
 }
 
 // qf returns quick at ScaleQuick and full otherwise — the one-line

@@ -101,6 +101,38 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
+// TestExperimentsWorkerCountInvariant is the parallel engine's
+// experiment-level guarantee: the rendered table is byte-identical
+// whether the trials run on one worker or eight.
+func TestExperimentsWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments twice")
+	}
+	// E5 (bespoke trial loop), E9 (percolation sweep), E13 (simulator
+	// trials) cover the three parallelization idioms.
+	for _, id := range []string{"E5", "E9", "E13"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func(workers int) string {
+			tbl, err := e.Run(Config{Seed: 3, Scale: ScaleQuick, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			var b bytes.Buffer
+			if err := tbl.Render(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}
+		seq, par := render(1), render(8)
+		if seq != par {
+			t.Fatalf("%s: table depends on worker count:\n%s\nvs\n%s", id, seq, par)
+		}
+	}
+}
+
 func TestSeedChangesOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs experiments twice")

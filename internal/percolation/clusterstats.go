@@ -6,6 +6,7 @@ import (
 
 	"faultroute/internal/graph"
 	"faultroute/internal/rng"
+	"faultroute/internal/runner"
 )
 
 // ClusterStats summarizes the cluster-size structure of one percolation
@@ -76,19 +77,36 @@ func (st ClusterStats) HistogramRows() [][2]uint64 {
 // p; the susceptibility column peaking at criticality is how one reads
 // the threshold off finite data.
 func ClusterScan(g graph.Graph, ps []float64, trials int, baseSeed uint64) ([]ClusterStats, error) {
+	return ClusterScanWorkers(g, ps, trials, baseSeed, 1)
+}
+
+// ClusterScanWorkers is ClusterScan with every (row, trial) sample
+// sharded across one worker pool — a single-p sweep with many trials
+// saturates the pool just as well as a many-p sweep. Sample seeds are
+// split from (baseSeed, row index, trial) exactly as in the sequential
+// scan, and per-row folds run in trial order, so results are
+// bit-identical for every workers value.
+func ClusterScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int) ([]ClusterStats, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("percolation: cluster scan needs positive trials, got %d", trials)
 	}
-	out := make([]ClusterStats, 0, len(ps))
+	samples, err := runner.Map(runner.New(workers), len(ps)*trials, func(flat int) (ClusterStats, error) {
+		row, t := flat/trials, flat%trials
+		s := New(g, ps[row], rng.Combine(baseSeed, uint64(row)<<32|uint64(t)))
+		comps, err := Label(s)
+		if err != nil {
+			return ClusterStats{}, err
+		}
+		return NewClusterStats(s, comps), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ClusterStats, len(ps))
 	for i, p := range ps {
 		acc := ClusterStats{P: p, SizeHistogram: make(map[uint64]uint64)}
 		for t := 0; t < trials; t++ {
-			s := New(g, p, rng.Combine(baseSeed, uint64(i)<<32|uint64(t)))
-			comps, err := Label(s)
-			if err != nil {
-				return nil, err
-			}
-			st := NewClusterStats(s, comps)
+			st := samples[i*trials+t]
 			acc.Theta += st.Theta
 			acc.Chi += st.Chi
 			acc.MeanCluster += st.MeanCluster
@@ -102,7 +120,7 @@ func ClusterScan(g graph.Graph, ps []float64, trials int, baseSeed uint64) ([]Cl
 		acc.Chi /= f
 		acc.MeanCluster /= f
 		acc.Clusters /= uint64(trials)
-		out = append(out, acc)
+		out[i] = acc
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"faultroute/internal/graph"
 	"faultroute/internal/rng"
+	"faultroute/internal/runner"
 )
 
 // ErrBadBracket is returned by FindThreshold when the event probability
@@ -16,12 +17,23 @@ var ErrBadBracket = errors.New("percolation: threshold target not bracketed")
 // independent seeds derived from baseSeed. The event receives the trial
 // seed and must be deterministic in it.
 func EventProbability(trials int, baseSeed uint64, event func(seed uint64) bool) float64 {
+	return EventProbabilityWorkers(trials, baseSeed, 1, event)
+}
+
+// EventProbabilityWorkers is EventProbability with the trials sharded
+// across a worker pool. Each trial's seed is split from (baseSeed,
+// trial), so the estimate is identical for every workers value; the
+// event must be safe for concurrent calls when workers > 1.
+func EventProbabilityWorkers(trials int, baseSeed uint64, workers int, event func(seed uint64) bool) float64 {
 	if trials <= 0 {
 		return 0
 	}
+	hitFlags, _ := runner.Map(runner.New(workers), trials, func(t int) (bool, error) {
+		return event(rng.Combine(baseSeed, uint64(t))), nil
+	})
 	hits := 0
-	for t := 0; t < trials; t++ {
-		if event(rng.Combine(baseSeed, uint64(t))) {
+	for _, h := range hitFlags {
+		if h {
 			hits++
 		}
 	}
@@ -50,11 +62,19 @@ func ConnectionProbability(g graph.Graph, p float64, u, v graph.Vertex, trials i
 // event probability crosses target, by bisection on [lo, hi] down to
 // width tol. The event receives (p, seed).
 func FindThreshold(lo, hi, target, tol float64, trials int, baseSeed uint64, event func(p float64, seed uint64) bool) (float64, error) {
+	return FindThresholdWorkers(lo, hi, target, tol, trials, baseSeed, 1, event)
+}
+
+// FindThresholdWorkers is FindThreshold with the Monte-Carlo trials of
+// each bisection step sharded across a worker pool (the bisection steps
+// themselves are inherently sequential). The located threshold is
+// identical for every workers value.
+func FindThresholdWorkers(lo, hi, target, tol float64, trials int, baseSeed uint64, workers int, event func(p float64, seed uint64) bool) (float64, error) {
 	if lo >= hi || tol <= 0 {
 		return 0, fmt.Errorf("percolation: invalid bracket [%v, %v] or tol %v", lo, hi, tol)
 	}
 	probAt := func(p float64) float64 {
-		return EventProbability(trials, rng.Combine(baseSeed, uint64(p*1e9)), func(seed uint64) bool {
+		return EventProbabilityWorkers(trials, rng.Combine(baseSeed, uint64(p*1e9)), workers, func(seed uint64) bool {
 			return event(p, seed)
 		})
 	}
@@ -87,28 +107,54 @@ type GiantStats struct {
 // and second-component fractions; the backbone of the E9 (AKS threshold)
 // experiment.
 func GiantScan(g graph.Graph, ps []float64, trials int, baseSeed uint64) ([]GiantStats, error) {
-	out := make([]GiantStats, 0, len(ps))
+	return GiantScanWorkers(g, ps, trials, baseSeed, 1)
+}
+
+// GiantScanWorkers is GiantScan with every (row, trial) sample sharded
+// across one worker pool — a single-p sweep with many trials saturates
+// the pool just as well as a many-p sweep. Sample seeds are split from
+// (baseSeed, row index, trial) exactly as in the sequential scan, and
+// per-row folds run in trial order, so results are bit-identical for
+// every workers value.
+func GiantScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int) ([]GiantStats, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("percolation: giant scan needs positive trials, got %d", trials)
+	}
+	type sample struct {
+		giant, second float64
+		components    uint64
+	}
+	samples, err := runner.Map(runner.New(workers), len(ps)*trials, func(flat int) (sample, error) {
+		row, t := flat/trials, flat%trials
+		seed := rng.Combine(baseSeed, uint64(row)<<32|uint64(t))
+		comps, err := Label(New(g, ps[row], seed))
+		if err != nil {
+			return sample{}, err
+		}
+		sizes := comps.SizesDescending()
+		order := float64(g.Order())
+		out := sample{giant: float64(sizes[0]) / order, components: comps.Count()}
+		if len(sizes) > 1 {
+			out.second = float64(sizes[1]) / order
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GiantStats, len(ps))
 	for i, p := range ps {
-		var acc GiantStats
-		acc.P = p
+		acc := GiantStats{P: p}
 		for t := 0; t < trials; t++ {
-			seed := rng.Combine(baseSeed, uint64(i)<<32|uint64(t))
-			comps, err := Label(New(g, p, seed))
-			if err != nil {
-				return nil, err
-			}
-			sizes := comps.SizesDescending()
-			order := float64(g.Order())
-			acc.GiantFraction += float64(sizes[0]) / order
-			if len(sizes) > 1 {
-				acc.SecondFraction += float64(sizes[1]) / order
-			}
-			acc.Components += comps.Count()
+			s := samples[i*trials+t]
+			acc.GiantFraction += s.giant
+			acc.SecondFraction += s.second
+			acc.Components += s.components
 		}
 		acc.GiantFraction /= float64(trials)
 		acc.SecondFraction /= float64(trials)
 		acc.Components /= uint64(trials)
-		out = append(out, acc)
+		out[i] = acc
 	}
 	return out, nil
 }

@@ -1,0 +1,7 @@
+// Package plot renders numeric series as ASCII scatter/line figures.
+// The paper's results are asymptotic curves (probes vs alpha, probes vs
+// distance, survival vs p); tables carry the exact numbers, and these
+// figures make the shapes — jumps, lines through the origin, exponential
+// fans — visible in a terminal or a text file. cmd/routebench renders
+// them with -plot.
+package plot

@@ -1,19 +1,3 @@
-// Package probe implements the query model of the paper (Definitions 1
-// and 2): a routing algorithm learns the percolation configuration only
-// by probing edges, and its complexity is the number of distinct edges
-// probed.
-//
-// Two probers are provided. Oracle may probe any edge of the base graph
-// (the "oracle routing" model of Section 5). Local enforces Definition
-// 1's locality rule — the first probe must touch the source, and every
-// subsequent probe must touch a vertex already connected to the source by
-// probed-open edges; violating probes are rejected with ErrNotLocal, so
-// the locality of a router is machine-checked rather than assumed.
-//
-// Both probers memoize: re-probing a known edge is free, matching the
-// paper's convention of counting queries of distinct edges (an algorithm
-// gains nothing from repeats). Budgets turn the lower-bound experiments'
-// exponential blow-ups into clean ErrBudget failures.
 package probe
 
 import (

@@ -1,0 +1,17 @@
+// Package rng provides deterministic, splittable pseudo-randomness for
+// percolation sampling, experiment replication, and the parallel trial
+// engine.
+//
+// The central primitive is a stateless hash: every percolation coin is a
+// pure function of (seed, edgeID), so a percolated subgraph of a graph with
+// 2^n vertices needs no storage, probes are replayable, and independent
+// experiment trials are derived by mixing a trial index into the seed.
+// That same property is what makes trial-level parallelism free of
+// coordination: internal/runner shards trials across workers and each
+// shard derives its own stream from (seed, trial) with Combine, so
+// results never depend on scheduling.
+//
+// The mixing function is the SplitMix64 finalizer (Steele, Lea, Flood 2014),
+// which passes BigCrush and is the standard choice for hash-derived
+// pseudo-randomness in simulation code.
+package rng

@@ -1,14 +1,3 @@
-// Package rng provides deterministic, splittable pseudo-randomness for
-// percolation sampling and experiment replication.
-//
-// The central primitive is a stateless hash: every percolation coin is a
-// pure function of (seed, edgeID), so a percolated subgraph of a graph with
-// 2^n vertices needs no storage, probes are replayable, and independent
-// experiment trials are derived by mixing a trial index into the seed.
-//
-// The mixing function is the SplitMix64 finalizer (Steele, Lea, Flood 2014),
-// which passes BigCrush and is the standard choice for hash-derived
-// pseudo-randomness in simulation code.
 package rng
 
 import "math"

@@ -1,0 +1,124 @@
+// Package runner is the parallel trial engine: a deterministic sharded
+// worker pool that the Monte-Carlo layers (core.Estimate, the exp
+// harness, the percolation sweeps) fan their independent trials across.
+//
+// Every unit of work is identified by a dense index i in [0, n); the
+// caller derives that unit's randomness from (base seed, i) by rng
+// stream-splitting, never from scheduling. The pool therefore only
+// changes WHEN a shard runs, not WHAT it computes, and results are
+// always merged back in index order — output is bit-identical for any
+// worker count, including the inline sequential path used when a single
+// worker is requested. That guarantee is what lets every CLI default
+// -workers to runtime.GOMAXPROCS(0) without perturbing a single table.
+//
+// The package is intentionally dependency-free so that any layer (core,
+// percolation, exp) can use it without import cycles.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller asks for
+// "all cores": runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Pool is a worker-pool executor. The zero value is not meaningful;
+// construct with New. A Pool is stateless between calls and safe for
+// concurrent use; it spawns goroutines per call rather than keeping
+// long-lived workers, so an idle Pool costs nothing.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool that runs up to workers shards concurrently.
+// workers <= 0 selects DefaultWorkers().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(i) for every i in [0, n) across the pool and returns
+// the first error in index order (see Map for the determinism
+// contract).
+func (p *Pool) Run(n int, fn func(i int) error) error {
+	_, err := Map(p, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Map executes fn(i) for every i in [0, n) across the pool and returns
+// the results in index order.
+//
+// Determinism contract: fn must derive all randomness from i (and
+// captured immutable state), never from scheduling. Under that
+// contract Map's result is independent of the worker count.
+//
+// Error contract: if any fn call fails, Map returns the error of the
+// lowest failing index — exactly the error a sequential loop would
+// have stopped on. Shards are claimed in ascending index order, so
+// every index below the lowest failing one is guaranteed to have run;
+// indices above it may be skipped once a failure is observed.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		// Sequential path: a plain loop, stopping at the first error.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		out, err := Map(New(workers), 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(New(4), 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map(0 items) = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	errAt := func(bad map[int]bool) error {
+		_, err := Map(New(8), 64, func(i int) (int, error) {
+			if bad[i] {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return i, nil
+		})
+		return err
+	}
+	// Whatever the scheduling, the reported error must be the one a
+	// sequential loop would have stopped on — the lowest failing index.
+	for trial := 0; trial < 20; trial++ {
+		err := errAt(map[int]bool{7: true, 40: true, 63: true})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Fatalf("trial %d: err = %v, want fail at 7", trial, err)
+		}
+	}
+}
+
+func TestMapErrorSkipsRemainingWork(t *testing.T) {
+	var calls atomic.Int64
+	sentinel := errors.New("boom")
+	_, err := Map(New(4), 1_000_000, func(i int) (int, error) {
+		calls.Add(1)
+		return 0, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := calls.Load(); n > 1000 {
+		t.Fatalf("ran %d shards after failure; cancellation is not working", n)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := New(3).Run(10, func(i int) error {
+		if i == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := New(3).Run(10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDefaultsToAllCores(t *testing.T) {
+	for _, w := range []int{0, -1} {
+		if got := New(w).Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("New(%d).Workers() = %d, want GOMAXPROCS = %d", w, got, runtime.GOMAXPROCS(0))
+		}
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d", got)
+	}
+}

@@ -1,16 +1,3 @@
-// Package sim is a deterministic discrete-event simulator for
-// message-passing over faulty networks. It exists to substantiate the
-// paper's framing: Definition 1's "local routing algorithm" is exactly a
-// distributed protocol in which a message can only be forwarded across
-// links adjacent to nodes it has already visited, and a probe is a
-// transmission attempt over a possibly-failed link.
-//
-// Experiment E13 runs a distributed flooding/echo protocol on the same
-// percolation samples as the probe-model routers and confirms that the
-// message complexity of the protocol tracks the probe complexity of
-// BFSLocal (up to the ≤2× factor from edges being attempted from both
-// endpoints) — so every probe-model result in the paper transfers to
-// message counts in an actual network.
 package sim
 
 import "container/heap"

@@ -1,0 +1,16 @@
+// Package stats provides the statistical machinery the experiments use
+// to turn replicated probe counts into the quantities the paper's
+// theorems talk about: means with confidence intervals, quantiles,
+// success frequencies with Wilson intervals, and least-squares power-law
+// / exponential fits whose slopes are compared against the theorem
+// exponents (1 for Theorem 4, 2 for Theorem 10, 3/2 for Theorem 11, an
+// exponential rate for Theorem 7).
+//
+// Lower-bound experiments censor: runs that hit the probe budget record
+// "at least budget" rather than a value. Summary carries the censored
+// count so tables can report it honestly.
+//
+// Summarize is order-sensitive in floating point, so the parallel trial
+// engine always hands it samples in trial order — that convention is
+// what keeps multi-worker runs bit-identical to sequential ones.
+package stats
