@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,11 +35,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	switch err := run(os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2) // the flag package already printed the error and usage
+	default:
 		fmt.Fprintln(os.Stderr, "faultroute:", err)
 		os.Exit(1)
 	}
 }
+
+// errUsage marks a flag-parse failure whose message the flag package has
+// already printed alongside the usage text.
+var errUsage = errors.New("usage")
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultroute", flag.ContinueOnError)
@@ -59,9 +68,13 @@ func run(args []string) error {
 		tries   = fs.Int("tries", 100, "conditioning retry budget per trial (estimate mode)")
 		psweep  = fs.String("psweep", "", "comma-separated p values to batch in estimate mode (default: just -p)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines in estimate mode (results are identical for any value)")
+		timeout = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
 	g, defaultRouter, defaultDst, err := buildGraph(*family, *n, *d, *side, *seed)
@@ -96,7 +109,13 @@ func run(args []string) error {
 	}
 
 	if *trials > 0 {
-		return estimate(spec, source, target, *trials, *tries, *seed, *workers, *psweep)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return estimate(ctx, spec, source, target, *trials, *tries, *seed, *workers, *psweep)
 	}
 	if *psweep != "" {
 		return fmt.Errorf("-psweep requires estimate mode: pass -trials N (N > 0)")
@@ -130,8 +149,9 @@ func run(args []string) error {
 }
 
 // estimate runs the multi-trial, multi-p estimate mode: one
-// EstimateBatch submission whose trials all share a single worker pool.
-func estimate(spec faultroute.Spec, src, dst faultroute.Vertex, trials, tries int, seed uint64, workers int, psweep string) error {
+// EstimateBatch submission whose trials all share a single worker pool,
+// canceled as a whole when ctx's deadline (-timeout) passes.
+func estimate(ctx context.Context, spec faultroute.Spec, src, dst faultroute.Vertex, trials, tries int, seed uint64, workers int, psweep string) error {
 	ps := []float64{spec.P}
 	if psweep != "" {
 		ps = ps[:0]
@@ -154,7 +174,7 @@ func estimate(spec faultroute.Spec, src, dst faultroute.Vertex, trials, tries in
 	}
 	fmt.Printf("%s  seed=%d  %s/%s  %d -> %d  (%d trials per p, %d workers)\n",
 		spec.Graph.Name(), seed, spec.Router.Name(), spec.Mode, src, dst, trials, workers)
-	results, err := faultroute.EstimateBatch(reqs, workers)
+	results, err := faultroute.EstimateBatchCtx(ctx, reqs, workers, nil)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -86,5 +88,21 @@ func TestRunFlagParseError(t *testing.T) {
 	if err := run([]string{"-n", "notanint"}); err == nil ||
 		!strings.Contains(err.Error(), "invalid") {
 		t.Fatal("bad flag value accepted")
+	}
+}
+
+func TestRunEstimateTimeoutAborts(t *testing.T) {
+	args := []string{"-graph", "hypercube", "-n", "10", "-trials", "500", "-timeout", "1ms"}
+	if err := run(args); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunHelpAndBadFlags(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); !errors.Is(err, errUsage) {
+		t.Fatalf("bad flag returned %v, want errUsage", err)
 	}
 }

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"faultroute/internal/cache"
+	"faultroute/internal/exp"
+	"faultroute/internal/jobs"
+)
+
+// server wires the job engine, the result cache and the experiment
+// registry into the HTTP API documented in SERVING.md.
+type server struct {
+	engine *jobs.Engine
+	store  *cache.Store
+	// workers is the default per-job trial parallelism, used when a
+	// submission does not set its own.
+	workers int
+}
+
+// jobRequest is the body of POST /v1/jobs: a kind discriminator, the
+// matching spec, and an optional execution hint.
+type jobRequest struct {
+	// Kind selects the spec: estimate, experiment or percolation.
+	Kind        string           `json:"kind"`
+	Estimate    *estimateSpec    `json:"estimate,omitempty"`
+	Experiment  *experimentSpec  `json:"experiment,omitempty"`
+	Percolation *percolationSpec `json:"percolation,omitempty"`
+	// Workers caps this job's trial-level parallelism (0 = the server
+	// default). It is an execution hint, deliberately excluded from the
+	// cache key: results are bit-identical at any worker count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// submitResponse is the body of POST /v1/jobs.
+type submitResponse struct {
+	Job jobs.Status `json:"job"`
+	// Cached reports that the result already existed: GET /v1/results
+	// will answer immediately, nothing was enqueued.
+	Cached bool `json:"cached"`
+	// Coalesced reports that an identical job was already in flight and
+	// this submission attached to it.
+	Coalesced bool `json:"coalesced"`
+}
+
+// routes returns the API surface; factored out of main so tests can
+// mount it on httptest servers.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the given status; encoding failures turn into
+// a 500 before any body byte is written.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, status = []byte(`{"error":"encoding response"}`), http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeError reports a failure as {"error": ...}.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit normalizes the submitted spec, derives its cache key, and
+// either coalesces onto existing work or enqueues a fresh job.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.workers
+	}
+	var (
+		canonical any
+		total     int64
+		task      jobs.Task
+		err       error
+	)
+	switch req.Kind {
+	case "estimate":
+		if req.Estimate == nil {
+			writeError(w, http.StatusBadRequest, "kind estimate needs an estimate spec")
+			return
+		}
+		canonical, total, task, err = wrap3(normalizeEstimate(*req.Estimate, workers))
+	case "experiment":
+		if req.Experiment == nil {
+			writeError(w, http.StatusBadRequest, "kind experiment needs an experiment spec")
+			return
+		}
+		canonical, total, task, err = wrap3(normalizeExperiment(*req.Experiment, workers))
+	case "percolation":
+		if req.Percolation == nil {
+			writeError(w, http.StatusBadRequest, "kind percolation needs a percolation spec")
+			return
+		}
+		canonical, total, task, err = wrap3(normalizePercolation(*req.Percolation, workers))
+	default:
+		writeError(w, http.StatusBadRequest, "unknown job kind %q (want estimate, experiment or percolation)", req.Kind)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid %s spec: %v", req.Kind, err)
+		return
+	}
+	key, err := cache.Key(req.Kind, canonical)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "deriving cache key: %v", err)
+		return
+	}
+	job, fresh, err := s.engine.Submit(key, total, task)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := job.Status()
+	resp := submitResponse{
+		Job:       st,
+		Cached:    !fresh && st.State == jobs.StateDone,
+		Coalesced: !fresh && st.State != jobs.StateDone,
+	}
+	status := http.StatusOK
+	if fresh {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, resp)
+}
+
+// wrap3 adapts the normalize* return shape (typed canonical spec first)
+// to the any-typed triple handleSubmit threads to the cache key.
+func wrap3[T any](canonical T, total int64, task jobs.Task, err error) (any, int64, jobs.Task, error) {
+	return canonical, total, task, err
+}
+
+// handleJobStatus reports one job's state and progress counters.
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.engine.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleJobCancel cancels a queued or running job.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.engine.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	job, _ := s.engine.Get(id)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleResult serves the cached result bytes for a content address —
+// exactly the canonical encoding the job computed, so the body can be
+// byte-compared against local CLI output.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for key %q (job still running, failed, or never submitted)", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleExperiments serves the machine-readable E1..E18 registry.
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []exp.Info `json:"experiments"`
+	}{exp.Infos()})
+}
+
+// handleHealth reports liveness plus cache occupancy.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.store.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		OK      bool   `json:"ok"`
+		Results int    `json:"results"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+	}{true, s.store.Len(), hits, misses})
+}

@@ -1,0 +1,100 @@
+// Command faultrouted is the serving layer over the measurement engine:
+// a long-running daemon that queues experiment jobs, dedupes them, and
+// serves cached results over a JSON HTTP API.
+//
+//	faultrouted -addr :8080
+//
+// API (see SERVING.md for the full reference):
+//
+//	POST   /v1/jobs          submit an estimate, experiment or percolation job
+//	GET    /v1/jobs/{id}     job state + progress counters
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/results/{key} canonical result bytes for a content address
+//	GET    /v1/experiments   the E1..E18 registry with parameter schemas
+//	GET    /v1/healthz       liveness + cache statistics
+//
+// Every job in this repo is a pure function of its normalized spec and
+// seed — bit-identical at any worker count — so results are cached
+// under the SHA-256 of the canonical spec encoding, duplicate
+// submissions coalesce onto one in-flight job, and repeat queries are
+// O(1) cache hits that never recompute.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"faultroute/internal/cache"
+	"faultroute/internal/jobs"
+)
+
+func main() {
+	switch err := run(os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2) // the flag package already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, "faultrouted:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks a flag-parse failure whose message the flag package has
+// already printed alongside the usage text.
+var errUsage = errors.New("usage")
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultrouted", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "default per-job trial parallelism (results are identical for any value)")
+		executors = fs.Int("executors", 2, "jobs executed concurrently")
+		depth     = fs.Int("queue", 64, "submission queue depth; submissions beyond it get 503")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+
+	store := cache.NewStore()
+	engine := jobs.NewEngine(store, *executors, *depth)
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: (&server{engine: engine, store: store, workers: *workers}).routes(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("faultrouted: listening on %s (%d executors, %d workers each, queue %d)\n",
+			*addr, *executors, *workers, *depth)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // bind failure or other fatal server error
+	case <-ctx.Done():
+	}
+	fmt.Println("faultrouted: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

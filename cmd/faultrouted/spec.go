@@ -1,0 +1,419 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"faultroute/internal/core"
+	"faultroute/internal/exp"
+	"faultroute/internal/graph"
+	"faultroute/internal/jobs"
+	"faultroute/internal/percolation"
+	"faultroute/internal/route"
+	"faultroute/internal/runner"
+)
+
+// This file defines the job specs of the HTTP API and their
+// normalization into (canonical spec, work-unit total, task closure)
+// triples.
+//
+// Normalization is what makes the result cache exact: every optional
+// field is resolved to its effective value (default router, topology
+// default destination, retry budget, seed) BEFORE the spec is hashed,
+// so two submissions that mean the same job — however sparsely they
+// were written — land on the same content address. Worker counts are
+// deliberately not part of any spec below: results are bit-identical at
+// any worker count, so parallelism is a per-submission execution hint
+// (jobRequest.Workers), never part of a job's identity.
+
+// graphSpec selects a topology. Only the fields a family uses survive
+// normalization (e.g. a mesh keeps d and side, never n), so irrelevant
+// fields cannot split the cache.
+type graphSpec struct {
+	// Family is one of hypercube, mesh, torus, doubletree, complete,
+	// debruijn, shuffleexchange, butterfly, cyclematching, ring.
+	Family string `json:"family"`
+	// N is the size parameter (dimension, depth or order).
+	N int `json:"n,omitempty"`
+	// D and Side shape mesh/torus families (d defaults to 2).
+	D    int `json:"d,omitempty"`
+	Side int `json:"side,omitempty"`
+	// Seed wires the random matching of the cyclematching family.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// buildGraph validates a graphSpec, constructs the topology, and
+// returns the normalized spec alongside the family's default router and
+// destination.
+func buildGraph(gs graphSpec) (g graph.Graph, norm graphSpec, defaultRouter string, defaultDst graph.Vertex, err error) {
+	norm = graphSpec{Family: gs.Family}
+	needN := func() error {
+		if gs.N <= 0 {
+			return fmt.Errorf("graph family %q needs a positive n", gs.Family)
+		}
+		norm.N = gs.N
+		return nil
+	}
+	switch gs.Family {
+	case "hypercube":
+		if err = needN(); err != nil {
+			return
+		}
+		var h *graph.Hypercube
+		if h, err = graph.NewHypercube(gs.N); err != nil {
+			return
+		}
+		return h, norm, "path-follow", h.Antipode(0), nil
+	case "mesh", "torus":
+		d := gs.D
+		if d == 0 {
+			d = 2
+		}
+		if gs.Side <= 0 {
+			err = fmt.Errorf("graph family %q needs a positive side", gs.Family)
+			return
+		}
+		norm.D, norm.Side = d, gs.Side
+		if gs.Family == "mesh" {
+			g, err = graph.NewMesh(d, gs.Side)
+		} else {
+			g, err = graph.NewTorus(d, gs.Side)
+		}
+		if err != nil {
+			return
+		}
+		return g, norm, "path-follow", graph.Vertex(g.Order() - 1), nil
+	case "doubletree":
+		if err = needN(); err != nil {
+			return
+		}
+		var tt *graph.DoubleTree
+		if tt, err = graph.NewDoubleTree(gs.N); err != nil {
+			return
+		}
+		return tt, norm, "double-tree-oracle", tt.RootB(), nil
+	case "complete":
+		if err = needN(); err != nil {
+			return
+		}
+		if g, err = graph.NewComplete(gs.N); err != nil {
+			return
+		}
+		return g, norm, "gnp-local", graph.Vertex(g.Order() - 1), nil
+	case "debruijn":
+		if err = needN(); err != nil {
+			return
+		}
+		if g, err = graph.NewDeBruijn(gs.N); err != nil {
+			return
+		}
+		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
+	case "shuffleexchange":
+		if err = needN(); err != nil {
+			return
+		}
+		if g, err = graph.NewShuffleExchange(gs.N); err != nil {
+			return
+		}
+		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
+	case "butterfly":
+		if err = needN(); err != nil {
+			return
+		}
+		if g, err = graph.NewButterfly(gs.N); err != nil {
+			return
+		}
+		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
+	case "cyclematching":
+		if err = needN(); err != nil {
+			return
+		}
+		norm.Seed = gs.Seed
+		if g, err = graph.NewCycleMatching(gs.N, gs.Seed); err != nil {
+			return
+		}
+		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
+	case "ring":
+		if err = needN(); err != nil {
+			return
+		}
+		if g, err = graph.NewRing(gs.N); err != nil {
+			return
+		}
+		return g, norm, "path-follow", graph.Vertex(g.Order() / 2), nil
+	default:
+		err = fmt.Errorf("unknown graph family %q", gs.Family)
+		return
+	}
+}
+
+// buildRouter mirrors the faultroute CLI's router registry; seed feeds
+// the randomized G(n,p) routers.
+func buildRouter(name string, seed uint64) (route.Router, error) {
+	switch name {
+	case "bfs-local":
+		return route.NewBFSLocal(), nil
+	case "greedy":
+		return route.NewGreedyMetric(), nil
+	case "path-follow":
+		return route.NewPathFollow(), nil
+	case "double-tree-oracle":
+		return route.NewDoubleTreeOracle(), nil
+	case "gnp-local":
+		return route.NewGnpLocal(seed), nil
+	case "gnp-oracle":
+		return route.NewGnpBidirectional(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown router %q", name)
+	}
+}
+
+// estimateSpec is a routing-complexity measurement job (core.Estimate
+// over the wire). Dst nil selects the family's canonical destination
+// (antipode, opposite corner, mirrored root); normalization resolves it.
+type estimateSpec struct {
+	Graph    graphSpec `json:"graph"`
+	P        float64   `json:"p"`
+	Router   string    `json:"router"`
+	Mode     string    `json:"mode"`
+	Budget   int       `json:"budget"`
+	Src      uint64    `json:"src"`
+	Dst      *uint64   `json:"dst"`
+	Trials   int       `json:"trials"`
+	MaxTries int       `json:"maxTries"`
+	Seed     uint64    `json:"seed"`
+}
+
+// estimateResult is the canonical JSON encoding of a core.Complexity.
+type estimateResult struct {
+	Trials   int     `json:"trials"`
+	Censored int     `json:"censored"`
+	Rejected int     `json:"rejected"`
+	Mean     float64 `json:"mean"`
+	Std      float64 `json:"std"`
+	Min      float64 `json:"min"`
+	Q25      float64 `json:"q25"`
+	Median   float64 `json:"median"`
+	Q75      float64 `json:"q75"`
+	P90      float64 `json:"p90"`
+	Max      float64 `json:"max"`
+}
+
+// normalizeEstimate validates an estimate submission and returns the
+// canonical spec plus the job's task and work-unit total.
+func normalizeEstimate(es estimateSpec, workers int) (estimateSpec, int64, jobs.Task, error) {
+	var zero estimateSpec
+	g, normGraph, defaultRouter, defaultDst, err := buildGraph(es.Graph)
+	if err != nil {
+		return zero, 0, nil, err
+	}
+	norm := es
+	norm.Graph = normGraph
+	if norm.Router == "" {
+		norm.Router = defaultRouter
+	}
+	if norm.Mode == "" {
+		norm.Mode = "local"
+	}
+	if norm.Mode != "local" && norm.Mode != "oracle" {
+		return zero, 0, nil, fmt.Errorf("unknown mode %q (want local or oracle)", norm.Mode)
+	}
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	if norm.Trials <= 0 {
+		return zero, 0, nil, fmt.Errorf("trials must be positive, got %d", norm.Trials)
+	}
+	if norm.MaxTries <= 0 {
+		norm.MaxTries = 100
+	}
+	if norm.Budget < 0 {
+		return zero, 0, nil, fmt.Errorf("budget must be non-negative, got %d", norm.Budget)
+	}
+	r, err := buildRouter(norm.Router, norm.Seed)
+	if err != nil {
+		return zero, 0, nil, err
+	}
+	if norm.Dst == nil {
+		d := uint64(defaultDst)
+		norm.Dst = &d
+	}
+	src, dst := graph.Vertex(norm.Src), graph.Vertex(*norm.Dst)
+	if uint64(src) >= g.Order() || uint64(dst) >= g.Order() {
+		return zero, 0, nil, fmt.Errorf("endpoints (%d, %d) out of range [0, %d)", src, dst, g.Order())
+	}
+	spec := core.Spec{Graph: g, P: norm.P, Router: r, Budget: norm.Budget}
+	if norm.Mode == "oracle" {
+		spec.Mode = core.ModeOracle
+	}
+	if norm.P < 0 || norm.P > 1 {
+		return zero, 0, nil, fmt.Errorf("retention probability %v outside [0, 1]", norm.P)
+	}
+	n := norm // capture the canonical spec, not the submission
+	task := func(ctx context.Context, progress func(delta int)) ([]byte, error) {
+		c, err := core.EstimateCtx(ctx, spec, src, dst, n.Trials, n.MaxTries, n.Seed, workers, runner.Progress(progress))
+		if err != nil {
+			return nil, err
+		}
+		return encodeResult(estimateResult{
+			Trials:   c.Trials,
+			Censored: c.Censored,
+			Rejected: c.Rejected,
+			Mean:     c.Mean,
+			Std:      c.Std,
+			Min:      c.Min,
+			Q25:      c.Q25,
+			Median:   c.Median,
+			Q75:      c.Q75,
+			P90:      c.P90,
+			Max:      c.Max,
+		})
+	}
+	return norm, int64(norm.Trials), task, nil
+}
+
+// experimentSpec is one EXPERIMENTS.md experiment run (E1..E18). Its
+// result is the canonical Table JSON — byte-identical to
+// `routebench -exp <id> -format json` at the same seed and scale.
+type experimentSpec struct {
+	ID    string `json:"id"`
+	Seed  uint64 `json:"seed"`
+	Scale string `json:"scale"`
+}
+
+// normalizeExperiment validates an experiment submission.
+func normalizeExperiment(es experimentSpec, workers int) (experimentSpec, int64, jobs.Task, error) {
+	var zero experimentSpec
+	e, err := exp.ByID(es.ID)
+	if err != nil {
+		return zero, 0, nil, err
+	}
+	norm := es
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	if norm.Scale == "" {
+		norm.Scale = "quick"
+	}
+	scale := exp.ScaleQuick
+	switch norm.Scale {
+	case "quick":
+	case "full":
+		scale = exp.ScaleFull
+	default:
+		return zero, 0, nil, fmt.Errorf("unknown scale %q (want quick or full)", norm.Scale)
+	}
+	seed := norm.Seed
+	task := func(ctx context.Context, progress func(delta int)) ([]byte, error) {
+		tbl, err := e.Run(exp.Config{
+			Seed:     seed,
+			Scale:    scale,
+			Workers:  workers,
+			Context:  ctx,
+			Progress: progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := tbl.RenderJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	// An experiment's trial count is scale- and experiment-specific, so
+	// the total is unknown up front; progress still counts trials.
+	return norm, 0, task, nil
+}
+
+// percolationSpec is a component-structure sweep (the percolate CLI's
+// giant/cluster scans over the wire).
+type percolationSpec struct {
+	Graph    graphSpec `json:"graph"`
+	Ps       []float64 `json:"ps"`
+	Trials   int       `json:"trials"`
+	Seed     uint64    `json:"seed"`
+	Clusters bool      `json:"clusters"`
+}
+
+// giantRow / clusterRow fix the JSON field order of percolation results.
+type giantRow struct {
+	P              float64 `json:"p"`
+	GiantFraction  float64 `json:"giantFraction"`
+	SecondFraction float64 `json:"secondFraction"`
+	Components     uint64  `json:"components"`
+}
+
+type clusterRow struct {
+	P           float64 `json:"p"`
+	Theta       float64 `json:"theta"`
+	Chi         float64 `json:"chi"`
+	MeanCluster float64 `json:"meanCluster"`
+	Clusters    uint64  `json:"clusters"`
+}
+
+// normalizePercolation validates a percolation submission.
+func normalizePercolation(ps percolationSpec, workers int) (percolationSpec, int64, jobs.Task, error) {
+	var zero percolationSpec
+	g, normGraph, _, _, err := buildGraph(ps.Graph)
+	if err != nil {
+		return zero, 0, nil, err
+	}
+	norm := ps
+	norm.Graph = normGraph
+	if len(norm.Ps) == 0 {
+		return zero, 0, nil, fmt.Errorf("ps must list at least one retention probability")
+	}
+	for _, p := range norm.Ps {
+		if p < 0 || p > 1 {
+			return zero, 0, nil, fmt.Errorf("retention probability %v outside [0, 1]", p)
+		}
+	}
+	if norm.Trials <= 0 {
+		return zero, 0, nil, fmt.Errorf("trials must be positive, got %d", norm.Trials)
+	}
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	n := norm
+	task := func(ctx context.Context, progress func(delta int)) ([]byte, error) {
+		if n.Clusters {
+			rows, err := percolation.ClusterScanCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]clusterRow, len(rows))
+			for i, r := range rows {
+				out[i] = clusterRow{P: r.P, Theta: r.Theta, Chi: r.Chi, MeanCluster: r.MeanCluster, Clusters: r.Clusters}
+			}
+			return encodeResult(struct {
+				Rows []clusterRow `json:"rows"`
+			}{out})
+		}
+		rows, err := percolation.GiantScanCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]giantRow, len(rows))
+		for i, r := range rows {
+			out[i] = giantRow{P: r.P, GiantFraction: r.GiantFraction, SecondFraction: r.SecondFraction, Components: r.Components}
+		}
+		return encodeResult(struct {
+			Rows []giantRow `json:"rows"`
+		}{out})
+	}
+	return norm, int64(len(norm.Ps) * norm.Trials), task, nil
+}
+
+// encodeResult marshals a result payload in its canonical form: compact
+// JSON plus a trailing newline (the same convention Table.RenderJSON
+// uses), so cached bytes can be byte-compared against CLI output.
+func encodeResult(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

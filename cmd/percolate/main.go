@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +30,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	switch err := run(os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2) // the flag package already printed the error and usage
+	default:
 		fmt.Fprintln(os.Stderr, "percolate:", err)
 		os.Exit(1)
 	}
 }
+
+// errUsage marks a flag-parse failure whose message the flag package has
+// already printed alongside the usage text; returning it instead of the
+// raw parse error gives bad flags a clean usage+non-zero exit without
+// the message being printed twice, consistent with the other CLIs.
+var errUsage = errors.New("usage")
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("percolate", flag.ContinueOnError)
@@ -47,9 +59,20 @@ func run(args []string) error {
 		threshold = fs.Bool("threshold", false, "bisect for the p where a canonical connection event has probability 1/2")
 		clusters  = fs.Bool("clusters", false, "report cluster statistics (theta, susceptibility) instead of giant fractions")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the Monte-Carlo sweeps (results are identical for any value)")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	g, err := buildGraph(*family, *n, *d, *side, *seed)
@@ -58,7 +81,7 @@ func run(args []string) error {
 	}
 
 	if *threshold {
-		return findThreshold(g, *family, *trials, *seed, *workers)
+		return findThreshold(ctx, g, *family, *trials, *seed, *workers)
 	}
 
 	ps, err := parseSweep(*sweep)
@@ -66,7 +89,7 @@ func run(args []string) error {
 		return err
 	}
 	if *clusters {
-		rows, err := percolation.ClusterScanWorkers(g, ps, *trials, *seed, *workers)
+		rows, err := percolation.ClusterScanCtx(ctx, g, ps, *trials, *seed, *workers, nil)
 		if err != nil {
 			return err
 		}
@@ -78,7 +101,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	rows, err := percolation.GiantScanWorkers(g, ps, *trials, *seed, *workers)
+	rows, err := percolation.GiantScanCtx(ctx, g, ps, *trials, *seed, *workers, nil)
 	if err != nil {
 		return err
 	}
@@ -93,7 +116,7 @@ func run(args []string) error {
 // findThreshold bisects for the p at which a family-appropriate
 // connectivity event crosses probability 1/2: root linkage for double
 // trees, corner-to-corner connection otherwise.
-func findThreshold(g faultroute.Graph, family string, trials int, seed uint64, workers int) error {
+func findThreshold(ctx context.Context, g faultroute.Graph, family string, trials int, seed uint64, workers int) error {
 	var (
 		event func(p float64, s uint64) bool
 		desc  string
@@ -113,7 +136,7 @@ func findThreshold(g faultroute.Graph, family string, trials int, seed uint64, w
 		}
 		desc = fmt.Sprintf("connection of vertices %d and %d", u, v)
 	}
-	pc, err := percolation.FindThresholdWorkers(0.01, 0.99, 0.5, 0.005, trials*20, seed, workers, event)
+	pc, err := percolation.FindThresholdCtx(ctx, 0.01, 0.99, 0.5, 0.005, trials*20, seed, workers, nil, event)
 	if err != nil {
 		return err
 	}

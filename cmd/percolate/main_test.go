@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestParseSweep(t *testing.T) {
 	ps, err := parseSweep("0.1, 0.5,0.9")
@@ -62,5 +66,21 @@ func TestRunRejectsBadInput(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Fatalf("run(%v) accepted", args)
 		}
+	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	args := []string{"-graph", "mesh", "-side", "60", "-trials", "200", "-timeout", "1ms"}
+	if err := run(args); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunHelpAndBadFlags(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); !errors.Is(err, errUsage) {
+		t.Fatalf("bad flag returned %v, want errUsage", err)
 	}
 }

@@ -9,6 +9,8 @@
 //	routebench -scale full           run everything at paper scale
 //	routebench -exp E3,E7 -seed 7    run a subset
 //	routebench -workers 4            cap trial-level parallelism
+//	routebench -exp E1 -format json  canonical JSON (what faultrouted caches)
+//	routebench -timeout 30s          abort a run that overstays its budget
 //
 // Tables are bit-identical for every -workers value (each trial's
 // randomness is split from the seed and the trial index, never from
@@ -16,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +31,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	switch err := run(os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2) // the flag package already printed the error and usage
+	default:
 		fmt.Fprintln(os.Stderr, "routebench:", err)
 		os.Exit(1)
 	}
 }
+
+// errUsage marks a flag-parse failure whose message the flag package has
+// already printed alongside the usage text.
+var errUsage = errors.New("usage")
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("routebench", flag.ContinueOnError)
@@ -41,11 +53,15 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "base random seed (same seed, same tables)")
 		scale   = fs.String("scale", "quick", "parameter scale: quick or full")
 		plots   = fs.Bool("plot", false, "also render ASCII figures for experiments that define them")
-		format  = fs.String("format", "text", "table format: text, csv, or markdown")
+		format  = fs.String("format", "text", "table format: text, csv, markdown, or json (the canonical encoding the faultrouted cache serves)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for trial-level parallelism (results are identical for any value)")
+		timeout = fs.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
 	if *list {
@@ -55,7 +71,20 @@ func run(args []string) error {
 		return nil
 	}
 
-	cfg := exp.Config{Seed: *seed, Workers: *workers}
+	switch *format {
+	case "text", "csv", "markdown", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv, markdown or json)", *format)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := exp.Config{Seed: *seed, Workers: *workers, Context: ctx}
 	switch *scale {
 	case "quick":
 		cfg.Scale = exp.ScaleQuick
@@ -86,8 +115,10 @@ func run(args []string) error {
 			return tbl.RenderCSV(os.Stdout)
 		case "markdown":
 			return tbl.RenderMarkdown(os.Stdout)
+		case "json":
+			return tbl.RenderJSON(os.Stdout)
 		default:
-			return fmt.Errorf("unknown format %q (want text, csv or markdown)", *format)
+			return fmt.Errorf("unknown format %q (want text, csv, markdown or json)", *format)
 		}
 	}
 
@@ -95,6 +126,9 @@ func run(args []string) error {
 		fmt.Printf("faultroute evaluation — scale=%s seed=%d\n\n", cfg.Scale, cfg.Seed)
 	}
 	for _, e := range chosen {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start := time.Now()
 		tbl, err := e.Run(cfg)
 		if err != nil {

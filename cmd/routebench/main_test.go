@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -34,5 +38,27 @@ func TestRunRejectsBadInput(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Fatalf("run(%v) accepted", args)
 		}
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	if err := run([]string{"-exp", "E5", "-scale", "quick", "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	err := run([]string{"-exp", "E2", "-scale", "full", "-timeout", "1ms"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunHelpAndBadFlags(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); !errors.Is(err, errUsage) {
+		t.Fatalf("bad flag returned %v, want errUsage", err)
 	}
 }

@@ -31,6 +31,8 @@
 package faultroute
 
 import (
+	"context"
+
 	"faultroute/internal/core"
 	"faultroute/internal/exp"
 	"faultroute/internal/graph"
@@ -38,6 +40,7 @@ import (
 	"faultroute/internal/percolation"
 	"faultroute/internal/probe"
 	"faultroute/internal/route"
+	"faultroute/internal/runner"
 	"faultroute/internal/sim"
 )
 
@@ -295,6 +298,26 @@ func EstimateWorkers(spec Spec, src, dst Vertex, trials, maxTries int, seed uint
 
 // EstimateRequest is one Estimate submission within a batch.
 type EstimateRequest = core.Request
+
+// Progress observes completed trials: the engine calls it with the
+// number of newly finished trials as a run advances. Hooks must be safe
+// for concurrent calls and never affect results — see runner.Progress.
+type Progress = runner.Progress
+
+// EstimateCtx is EstimateWorkers with cancellation and a progress hook:
+// the estimate aborts with ctx's error once ctx is done, and progress
+// (when non-nil) observes each completed trial. A run that completes is
+// bit-identical to Estimate. See core.EstimateCtx.
+func EstimateCtx(ctx context.Context, spec Spec, src, dst Vertex, trials, maxTries int, seed uint64, workers int, progress Progress) (Complexity, error) {
+	return core.EstimateCtx(ctx, spec, src, dst, trials, maxTries, seed, workers, progress)
+}
+
+// EstimateBatchCtx is EstimateBatch with cancellation and a progress
+// hook, under the same contract as EstimateCtx. See
+// core.EstimateBatchCtx.
+func EstimateBatchCtx(ctx context.Context, reqs []EstimateRequest, workers int, progress Progress) ([]Complexity, error) {
+	return core.EstimateBatchCtx(ctx, reqs, workers, progress)
+}
 
 // EstimateBatch runs many estimates — a whole sweep of vertex pairs
 // and retention probabilities — through one shared worker pool, so the

@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// specV1 mirrors the shape of a normalized job spec: nested structs,
+// numeric and string fields.
+type specV1 struct {
+	Graph  string  `json:"graph"`
+	N      int     `json:"n"`
+	P      float64 `json:"p"`
+	Router string  `json:"router"`
+	Seed   uint64  `json:"seed"`
+	Trials int     `json:"trials"`
+}
+
+func TestKeyStability(t *testing.T) {
+	spec := specV1{Graph: "hypercube", N: 12, P: 0.4, Router: "path-follow", Seed: 1, Trials: 50}
+	got, err := Key("estimate", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden value: the key scheme is part of the serving API (clients
+	// may persist keys), so a change here is a breaking change and must
+	// be deliberate.
+	const want = "8b5ded75bcc6a23176ccf49029847dfd61ef2f68c85f9d8bbfc5c2611612c999"
+	if got != want {
+		t.Fatalf("Key changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestKeyDistinguishesSpecsAndKinds(t *testing.T) {
+	base := specV1{Graph: "hypercube", N: 12, P: 0.4, Router: "path-follow", Seed: 1, Trials: 50}
+	k0, err := Key("estimate", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same spec, same key.
+	if k1, _ := Key("estimate", base); k1 != k0 {
+		t.Fatalf("identical spec produced different keys: %s vs %s", k0, k1)
+	}
+	// Any field change, a different key.
+	variants := []specV1{base, base, base, base}
+	variants[0].N = 13
+	variants[1].P = 0.41
+	variants[2].Seed = 2
+	variants[3].Trials = 51
+	for i, v := range variants {
+		kv, err := Key("estimate", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kv == k0 {
+			t.Fatalf("variant %d collided with the base spec", i)
+		}
+	}
+	// Same spec under a different kind must not collide either.
+	if kk, _ := Key("experiment", base); kk == k0 {
+		t.Fatal("kinds estimate and experiment collided")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	val := []byte(`{"mean":12.5}`)
+	s.Put("k1", val)
+	val[0] = 'X' // the store must have copied
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("stored key missing")
+	}
+	if string(got) != `{"mean":12.5}` {
+		t.Fatalf("stored value corrupted: %q", got)
+	}
+	// First write wins: results are deterministic, so a second Put of the
+	// same key must not change what readers observe.
+	s.Put("k1", []byte("other"))
+	if got, _ := s.Get("k1"); string(got) != `{"mean":12.5}` {
+		t.Fatalf("Put overwrote an existing entry: %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	hits, misses := s.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (2, 1)", hits, misses)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.Put(key, []byte(key))
+				if v, ok := s.Get(key); ok && string(v) != key {
+					t.Errorf("key %s holds %q", key, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+}

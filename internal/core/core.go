@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -244,6 +245,15 @@ func Estimate(spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint6
 // the returned Complexity is bit-identical for every workers value;
 // workers only sets the concurrency (<= 0 selects all cores).
 func EstimateWorkers(spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint64, workers int) (Complexity, error) {
+	return EstimateCtx(context.Background(), spec, src, dst, trials, maxTries, seed, workers, nil)
+}
+
+// EstimateCtx is EstimateWorkers with cancellation and a progress hook:
+// the estimate aborts with ctx's error once ctx is done (cancel or
+// deadline), and progress — when non-nil — observes each completed
+// trial. Neither affects the numbers: a run that completes is
+// bit-identical to Estimate with the same arguments.
+func EstimateCtx(ctx context.Context, spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint64, workers int, progress runner.Progress) (Complexity, error) {
 	if err := spec.validate(); err != nil {
 		return Complexity{}, err
 	}
@@ -253,7 +263,7 @@ func EstimateWorkers(spec Spec, src, dst graph.Vertex, trials, maxTries int, see
 	if maxTries <= 0 {
 		maxTries = 100
 	}
-	results, err := runner.Map(runner.New(workers), trials, func(trial int) (TrialResult, error) {
+	results, err := runner.MapCtx(ctx, runner.New(workers), trials, progress, func(trial int) (TrialResult, error) {
 		r := EstimateTrial(spec, src, dst, trial, maxTries, seed)
 		return r, r.Err
 	})
@@ -281,6 +291,14 @@ type Request struct {
 // trials. Results arrive in request order and are bit-identical to
 // calling Estimate on each request separately.
 func EstimateBatch(reqs []Request, workers int) ([]Complexity, error) {
+	return EstimateBatchCtx(context.Background(), reqs, workers, nil)
+}
+
+// EstimateBatchCtx is EstimateBatch with cancellation and a progress
+// hook, sharing the contract of EstimateCtx: ctx done aborts the whole
+// batch, progress observes completed trials across all requests, and a
+// batch that completes is bit-identical to EstimateBatch.
+func EstimateBatchCtx(ctx context.Context, reqs []Request, workers int, progress runner.Progress) ([]Complexity, error) {
 	offsets := make([]int, len(reqs)+1)
 	for i, r := range reqs {
 		if err := r.Spec.validate(); err != nil {
@@ -292,7 +310,7 @@ func EstimateBatch(reqs []Request, workers int) ([]Complexity, error) {
 		offsets[i+1] = offsets[i] + r.Trials
 	}
 	total := offsets[len(reqs)]
-	results, err := runner.Map(runner.New(workers), total, func(flat int) (TrialResult, error) {
+	results, err := runner.MapCtx(ctx, runner.New(workers), total, progress, func(flat int) (TrialResult, error) {
 		// Locate the request owning this flat index.
 		ri := sort.Search(len(reqs), func(i int) bool { return offsets[i+1] > flat })
 		req := reqs[ri]

@@ -32,7 +32,7 @@ func runE9(cfg Config) (*Table, error) {
 	for i, c := range cs {
 		ps[i] = c / float64(n)
 	}
-	statsRows, err := percolation.GiantScanWorkers(g, ps, trials, cfg.Seed, cfg.workers())
+	statsRows, err := percolation.GiantScanCtx(cfg.Context, g, ps, trials, cfg.Seed, cfg.workers(), cfg.Progress)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -49,6 +50,16 @@ type Config struct {
 	// so tables are bit-identical for every Workers value — Workers only
 	// sets how fast they arrive.
 	Workers int
+	// Context, when non-nil, cancels the run early: trial loops stop
+	// claiming work once it is done and the experiment returns the
+	// context's error. It never alters a run that completes.
+	Context context.Context
+	// Progress, when non-nil, observes completed work: it is called with
+	// the number of newly finished trials (currently always 1 per call)
+	// as the run advances. It must be safe for concurrent calls and, like
+	// Context, has no effect on the table — only Seed, Scale and the
+	// experiment ID are part of a run's identity.
+	Progress func(delta int)
 }
 
 // qf returns quick at ScaleQuick and full otherwise — the one-line
@@ -143,4 +154,53 @@ func ByID(id string) (Experiment, error) {
 		return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
 	}
 	return e, nil
+}
+
+// Param describes one submission parameter of an experiment run — the
+// machine-readable schema a serving layer exposes so clients can build
+// job requests without reading Go source.
+type Param struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Default string `json:"default"`
+	Doc     string `json:"doc"`
+}
+
+// Info is the machine-readable registry entry for one experiment:
+// identity plus the parameter schema of a run.
+type Info struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Claim  string  `json:"claim"`
+	Params []Param `json:"params"`
+}
+
+// configParams is the submission-parameter schema shared by every
+// experiment: the Config fields that select a run. Workers is listed for
+// completeness but is explicitly excluded from a run's identity.
+func configParams() []Param {
+	return []Param{
+		{Name: "seed", Type: "uint64", Default: "1",
+			Doc: "base random seed; identical (id, seed, scale) produce identical tables"},
+		{Name: "scale", Type: "string", Default: "quick",
+			Doc: "parameter scale: quick (CI-sized) or full (paper-sized)"},
+		{Name: "workers", Type: "int", Default: "0",
+			Doc: "trial-level parallelism, 0 = all cores; never affects the table"},
+	}
+}
+
+// Info returns the experiment's machine-readable registry entry.
+func (e Experiment) Info() Info {
+	return Info{ID: e.ID, Title: e.Title, Claim: e.Claim, Params: configParams()}
+}
+
+// Infos returns the machine-readable registry in ID order — the payload
+// of the serving layer's experiment listing.
+func Infos() []Info {
+	all := All()
+	out := make([]Info, len(all))
+	for i, e := range all {
+		out[i] = e.Info()
+	}
+	return out
 }

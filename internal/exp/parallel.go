@@ -20,5 +20,5 @@ func (c Config) workers() int {
 // ordered results exactly as the old sequential loop did — so tables
 // are bit-identical for every worker count.
 func parTrials[T any](cfg Config, trials int, fn func(trial int) (T, error)) ([]T, error) {
-	return runner.Map(runner.New(cfg.workers()), trials, fn)
+	return runner.MapCtx(cfg.Context, runner.New(cfg.workers()), trials, runner.Progress(cfg.Progress), fn)
 }

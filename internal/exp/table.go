@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -170,6 +171,55 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// tableJSON fixes the field set and order of the canonical JSON
+// encoding; figures (terminal renderings, not data) are omitted.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+}
+
+// MarshalJSON encodes the table in its canonical machine-readable form —
+// the one encoding shared by `routebench -format json` and the
+// faultrouted result cache, so a served result can be byte-compared
+// against a local run. Empty slices encode as [] (never null) to keep
+// the bytes a pure function of the table's contents.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Claim:   t.Claim,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}
+	if j.Columns == nil {
+		j.Columns = []string{}
+	}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	if j.Notes == nil {
+		j.Notes = []string{}
+	}
+	return json.Marshal(j)
+}
+
+// RenderJSON writes the canonical JSON encoding followed by a newline —
+// exactly the bytes the faultrouted cache stores for an experiment job.
+func (t *Table) RenderJSON(w io.Writer) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 // RenderMarkdown writes the table as a GitHub-flavored Markdown table,

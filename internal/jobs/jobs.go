@@ -1,0 +1,376 @@
+// Package jobs is the asynchronous job engine of the serving layer: a
+// bounded submission queue drained by a fixed pool of executors, with
+// context-based cancellation, per-job progress counters, and coalescing
+// of duplicate submissions.
+//
+// Coalescing is keyed by the result cache's content address
+// (internal/cache.Key): because every job in this repo is a pure
+// function of its normalized spec, two submissions with the same key
+// would compute byte-identical results, so the engine attaches the
+// second submission to the first's job instead of queueing it — whether
+// that job is still queued, already running, or long finished. The
+// effect the HTTP API advertises: N clients asking for the same
+// experiment cost one computation, and repeat queries are O(1) against
+// the cache.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultroute/internal/cache"
+)
+
+// Sentinel errors of the engine.
+var (
+	// ErrQueueFull reports a Submit that found the bounded queue at
+	// capacity; the caller should retry later (HTTP 503).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("jobs: engine closed")
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued and Running are transient; the other three are
+// terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Task computes one job's result bytes. It must be a pure function of
+// the spec its closure captures (the engine guarantees nothing about
+// which executor runs it or when), honor ctx cancellation, and report
+// forward progress through the supplied hook — the engine surfaces those
+// counts as the job's progress.
+type Task func(ctx context.Context, progress func(delta int)) ([]byte, error)
+
+// Job tracks one coalesced submission through the engine. All methods
+// are safe for concurrent use.
+type Job struct {
+	id    string
+	key   string
+	total int64
+	task  Task
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done   atomic.Int64
+	doneCh chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the engine-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the cache key the job's result is (or will be) stored
+// under.
+func (j *Job) Key() string { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// returning ctx's error in the latter case.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status is a point-in-time snapshot of a job, shaped for the HTTP API.
+type Status struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Done counts completed work units (trials); Total is the expected
+	// number, or 0 when the job's size is not known up front.
+	Done  int64  `json:"done"`
+	Total int64  `json:"total,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	Created  time.Time `json:"created,omitzero"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Status returns a snapshot of the job. A job canceled while still
+// queued reports StateCanceled even though no executor has touched it
+// yet.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	state := j.state
+	errMsg := j.errMsg
+	if state == StateQueued && j.ctx.Err() != nil {
+		state = StateCanceled
+		errMsg = j.ctx.Err().Error()
+	}
+	return Status{
+		ID:       j.id,
+		Key:      j.key,
+		State:    state,
+		Done:     j.done.Load(),
+		Total:    j.total,
+		Error:    errMsg,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// Engine owns the queue, the executor pool, and the job index.
+type Engine struct {
+	store *cache.Store
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *Job
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    int
+	byID      map[string]*Job
+	inflight  map[string]*Job // queued or running, by cache key
+	doneByKey map[string]*Job // succeeded, by cache key
+	deadLog   []string        // failed/canceled job IDs, oldest first (bounded)
+}
+
+// NewEngine starts an engine with `executors` concurrent job executors
+// (<= 0 selects 1; each job additionally fans its trials across the
+// worker pool its Task configures) and a submission queue of the given
+// depth (<= 0 selects 64). The store receives every successful result
+// and is consulted on Submit, so a warm store short-circuits
+// resubmissions even across engine restarts.
+func NewEngine(store *cache.Store, executors, depth int) *Engine {
+	if executors <= 0 {
+		executors = 1
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		store:     store,
+		baseCtx:   ctx,
+		stop:      cancel,
+		queue:     make(chan *Job, depth),
+		byID:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+		doneByKey: make(map[string]*Job),
+	}
+	for i := 0; i < executors; i++ {
+		e.wg.Add(1)
+		go e.run()
+	}
+	return e
+}
+
+// Submit registers a job computing the result addressed by key and
+// returns its (possibly pre-existing) Job. fresh reports whether this
+// call enqueued new work: false means the submission coalesced onto an
+// in-flight or completed job, or onto a result already in the store, and
+// nothing will be recomputed. total is the job's expected work-unit
+// count for progress reporting (0 = unknown). Submit fails with
+// ErrQueueFull when the queue is at capacity and with ErrClosed after
+// Close.
+func (e *Engine) Submit(key string, total int64, task Task) (job *Job, fresh bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := e.inflight[key]; ok {
+		return j, false, nil
+	}
+	if j, ok := e.doneByKey[key]; ok {
+		return j, false, nil
+	}
+	if _, ok := e.store.Get(key); ok {
+		// Result present but no job remembers computing it (e.g. a store
+		// warmed before this engine started): synthesize a done job so
+		// the API has something to point at.
+		j := e.newJobLocked(key, total)
+		j.state = StateDone
+		j.done.Store(total)
+		j.finished = j.created
+		close(j.doneCh)
+		e.doneByKey[key] = j
+		return j, false, nil
+	}
+	j := e.newJobLocked(key, total)
+	j.task = task
+	select {
+	case e.queue <- j:
+	default:
+		j.cancel()
+		delete(e.byID, j.id)
+		return nil, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
+	}
+	e.inflight[key] = j
+	return j, true, nil
+}
+
+// newJobLocked allocates and indexes a job; e.mu must be held.
+func (e *Engine) newJobLocked(key string, total int64) *Job {
+	e.nextID++
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	j := &Job{
+		id:      fmt.Sprintf("j%d", e.nextID),
+		key:     key,
+		total:   total,
+		ctx:     ctx,
+		cancel:  cancel,
+		doneCh:  make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	e.byID[j.id] = j
+	return j
+}
+
+// Get returns the job with the given ID.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.byID[id]
+	return j, ok
+}
+
+// Cancel cancels the job with the given ID: a queued job will be
+// discarded when dequeued, a running job has its context canceled.
+// Canceling a finished job is a no-op. A job canceled while still
+// queued releases its coalescing slot immediately, so a resubmission
+// of the same spec is fresh work rather than a hit on the dead job.
+func (e *Engine) Cancel(id string) error {
+	e.mu.Lock()
+	j, ok := e.byID[id]
+	if ok {
+		j.mu.Lock()
+		queued := j.state == StateQueued
+		j.mu.Unlock()
+		if queued && e.inflight[j.key] == j {
+			delete(e.inflight, j.key)
+		}
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	j.cancel()
+	return nil
+}
+
+// Close stops accepting submissions, cancels every job context, waits
+// for the executors to drain, and fails any jobs still stuck in the
+// queue so their waiters unblock.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.stop()
+	e.wg.Wait()
+	for {
+		select {
+		case j := <-e.queue:
+			e.finish(j, nil, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+// run is one executor: it drains the queue until the engine stops.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.baseCtx.Done():
+			return
+		case j := <-e.queue:
+			e.execute(j)
+		}
+	}
+}
+
+// execute drives one job from queued to a terminal state.
+func (e *Engine) execute(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		e.finish(j, nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	data, err := j.task(j.ctx, func(delta int) { j.done.Add(int64(delta)) })
+	e.finish(j, data, err)
+}
+
+// maxTerminalHistory bounds how many failed/canceled jobs stay
+// queryable by ID: unlike done jobs (whose count is that of the result
+// cache, by design), dead jobs have no reuse value, so the oldest are
+// evicted once the history is full — without this a long-running daemon
+// fed failing submissions would grow without bound.
+const maxTerminalHistory = 1024
+
+// finish records a job's terminal state, publishes a successful result
+// to the store, and releases the submission's coalescing slot. A failed
+// or canceled job leaves no trace under its key, so the same spec can be
+// resubmitted and retried from scratch.
+func (e *Engine) finish(j *Job, data []byte, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Guarded delete: Cancel may have already freed the slot and a new
+	// job for the same key may be in flight — never evict the newcomer.
+	if e.inflight[j.key] == j {
+		delete(e.inflight, j.key)
+	}
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		e.store.Put(j.key, data)
+		e.doneByKey[j.key] = j
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	terminal := j.state
+	j.mu.Unlock()
+	if terminal != StateDone {
+		e.deadLog = append(e.deadLog, j.id)
+		if len(e.deadLog) > maxTerminalHistory {
+			delete(e.byID, e.deadLog[0])
+			e.deadLog = e.deadLog[1:]
+		}
+	}
+	j.cancel() // release the context's resources
+	close(j.doneCh)
+}

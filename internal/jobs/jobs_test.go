@@ -1,0 +1,415 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faultroute/internal/cache"
+)
+
+// waitState polls until the job reaches a terminal state, with a test
+// deadline.
+func waitJob(t *testing.T, j *Job) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s did not finish: %v (state %s)", j.ID(), err, j.Status().State)
+	}
+	return j.Status()
+}
+
+func TestSubmitRunStoreResult(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 2, 8)
+	defer e.Close()
+
+	j, fresh, err := e.Submit("key-a", 3, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		for i := 0; i < 3; i++ {
+			progress(1)
+		}
+		return []byte("result-a"), nil
+	})
+	if err != nil || !fresh {
+		t.Fatalf("Submit = (fresh=%v, err=%v), want fresh new job", fresh, err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone || st.Done != 3 || st.Total != 3 {
+		t.Fatalf("status = %+v, want done 3/3", st)
+	}
+	data, ok := store.Get("key-a")
+	if !ok || string(data) != "result-a" {
+		t.Fatalf("store holds %q, %v", data, ok)
+	}
+	if _, ok := e.Get(j.ID()); !ok {
+		t.Fatal("finished job not retrievable by ID")
+	}
+}
+
+func TestDuplicateSubmissionsCoalesce(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	var runs atomic.Int64
+	release := make(chan struct{})
+	task := func(ctx context.Context, progress func(int)) ([]byte, error) {
+		runs.Add(1)
+		<-release
+		return []byte("once"), nil
+	}
+
+	j1, fresh1, err := e.Submit("dup", 0, task)
+	if err != nil || !fresh1 {
+		t.Fatalf("first Submit = (%v, %v)", fresh1, err)
+	}
+	// While in flight (queued or running), the same key must coalesce.
+	j2, fresh2, err := e.Submit("dup", 0, task)
+	if err != nil || fresh2 {
+		t.Fatalf("second Submit = (fresh=%v, err=%v), want coalesced", fresh2, err)
+	}
+	if j1 != j2 {
+		t.Fatalf("coalesced submission got a different job: %s vs %s", j1.ID(), j2.ID())
+	}
+	close(release)
+	waitJob(t, j1)
+	// After completion, the same key must still coalesce — onto the done
+	// job, with no recomputation.
+	j3, fresh3, err := e.Submit("dup", 0, task)
+	if err != nil || fresh3 {
+		t.Fatalf("post-completion Submit = (fresh=%v, err=%v), want coalesced", fresh3, err)
+	}
+	if j3 != j1 {
+		t.Fatalf("post-completion submission got job %s, want %s", j3.ID(), j1.ID())
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("task ran %d times, want 1", got)
+	}
+}
+
+func TestConcurrentSameSpecSubmissionsRunOnce(t *testing.T) {
+	// The race the cache+coalescing design must win: many clients submit
+	// the same spec simultaneously; exactly one computation happens and
+	// every submission observes the same result. Run under -race.
+	store := cache.NewStore()
+	e := NewEngine(store, 4, 64)
+	defer e.Close()
+
+	var runs atomic.Int64
+	task := func(ctx context.Context, progress func(int)) ([]byte, error) {
+		runs.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the window
+		return []byte("shared"), nil
+	}
+
+	const clients = 32
+	var wg sync.WaitGroup
+	jobsSeen := make([]*Job, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			j, _, err := e.Submit("same-spec", 0, task)
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			jobsSeen[c] = j
+		}(c)
+	}
+	wg.Wait()
+	waitJob(t, jobsSeen[0])
+	for c, j := range jobsSeen {
+		if j != jobsSeen[0] {
+			t.Fatalf("client %d attached to job %s, want %s", c, j.ID(), jobsSeen[0].ID())
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("task ran %d times for %d concurrent clients, want 1", got, clients)
+	}
+	if data, ok := store.Get("same-spec"); !ok || string(data) != "shared" {
+		t.Fatalf("store holds %q, %v", data, ok)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	started := make(chan struct{})
+	j, _, err := e.Submit("cancel-me", 100, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := e.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if _, ok := store.Get("cancel-me"); ok {
+		t.Fatal("canceled job published a result")
+	}
+	// The key is free again: a resubmission is fresh work, not a
+	// coalesced hit on the canceled job.
+	j2, fresh, err := e.Submit("cancel-me", 1, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return []byte("second try"), nil
+	})
+	if err != nil || !fresh {
+		t.Fatalf("resubmit after cancel = (fresh=%v, err=%v)", fresh, err)
+	}
+	if st := waitJob(t, j2); st.State != StateDone {
+		t.Fatalf("retry state = %s, want done", st.State)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	release := make(chan struct{})
+	blocker, _, err := e.Submit("blocker", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		<-release
+		return []byte("b"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	queued, _, err := e.Submit("queued", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		ran = true
+		return []byte("q"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// A canceled-but-still-queued job must already report canceled.
+	if st := queued.Status(); st.State != StateCanceled {
+		t.Fatalf("queued+canceled state = %s, want canceled", st.State)
+	}
+	close(release)
+	waitJob(t, blocker)
+	st := waitJob(t, queued)
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if ran {
+		t.Fatal("canceled queued job still ran")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 1)
+	defer e.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context, progress func(int)) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return []byte("x"), nil
+	}
+	// First job occupies the executor, second fills the depth-1 queue.
+	if _, _, err := e.Submit("q0", 0, block); err != nil {
+		t.Fatal(err)
+	}
+	// The executor may not have dequeued q0 yet; allow one retry for q1.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := e.Submit("q1", 0, block); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("q1 never fit in the queue: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Now the queue is full (executor busy with q0, q1 waiting): a third
+	// distinct spec must be rejected, not block the server.
+	_, _, err := e.Submit("q2", 0, block)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// But a duplicate of an in-flight job still coalesces fine.
+	if _, fresh, err := e.Submit("q1", 0, block); err != nil || fresh {
+		t.Fatalf("duplicate during full queue = (fresh=%v, err=%v), want coalesced", fresh, err)
+	}
+}
+
+func TestFailedJobAllowsRetry(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	boom := errors.New("boom")
+	j, _, err := e.Submit("flaky", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return nil, fmt.Errorf("attempt 1: %w", boom)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("status = %+v, want failed with message", st)
+	}
+	j2, fresh, err := e.Submit("flaky", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || !fresh {
+		t.Fatalf("retry = (fresh=%v, err=%v), want fresh", fresh, err)
+	}
+	if st := waitJob(t, j2); st.State != StateDone {
+		t.Fatalf("retry state = %s", st.State)
+	}
+}
+
+func TestWarmStoreShortCircuits(t *testing.T) {
+	store := cache.NewStore()
+	store.Put("warm", []byte("precomputed"))
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	j, fresh, err := e.Submit("warm", 5, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		t.Error("task ran despite warm cache")
+		return nil, nil
+	})
+	if err != nil || fresh {
+		t.Fatalf("Submit = (fresh=%v, err=%v), want coalesced onto warm result", fresh, err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone || st.Done != 5 {
+		t.Fatalf("status = %+v, want synthetic done job", st)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := NewEngine(cache.NewStore(), 1, 8)
+	e.Close()
+	if _, _, err := e.Submit("late", 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := e.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCancelQueuedJobFreesKeyImmediately(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	blocker, _, err := e.Submit("blocker2", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return []byte("b"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = blocker
+	queued, _, err := e.Submit("contended", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return []byte("first"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The canceled job must release its key at Cancel time — NOT when an
+	// executor eventually dequeues it — so a resubmission is fresh work.
+	retry, fresh, err := e.Submit("contended", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return []byte("second"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh {
+		t.Fatalf("resubmission coalesced onto the canceled queued job %s", retry.ID())
+	}
+	if retry == queued {
+		t.Fatal("resubmission returned the canceled job")
+	}
+}
+
+func TestCloseUnblocksQueuedWaiters(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 1, 8)
+
+	started := make(chan struct{})
+	if _, _, err := e.Submit("close-blocker", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	stuck, _, err := e.Submit("close-stuck", 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return []byte("never runs"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	// Close must terminate queued jobs so waiters do not hang forever.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := stuck.Wait(ctx); err != nil {
+		t.Fatalf("queued job still unfinished after Close: %v", err)
+	}
+	if st := stuck.Status(); st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+}
+
+func TestDeadJobHistoryBounded(t *testing.T) {
+	store := cache.NewStore()
+	e := NewEngine(store, 2, 8)
+	defer e.Close()
+
+	var firstID string
+	for i := 0; i < maxTerminalHistory+10; i++ {
+		j, _, err := e.Submit(fmt.Sprintf("fail-%d", i), 0, func(ctx context.Context, progress func(int)) ([]byte, error) {
+			return nil, errors.New("always fails")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstID = j.ID()
+		}
+		waitJob(t, j)
+	}
+	if _, ok := e.Get(firstID); ok {
+		t.Fatalf("oldest failed job %s still indexed after %d failures", firstID, maxTerminalHistory+10)
+	}
+	e.mu.Lock()
+	n := len(e.byID)
+	e.mu.Unlock()
+	if n > maxTerminalHistory+2 {
+		t.Fatalf("byID holds %d jobs, want <= %d", n, maxTerminalHistory)
+	}
+}

@@ -1,6 +1,7 @@
 package percolation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -87,10 +88,18 @@ func ClusterScan(g graph.Graph, ps []float64, trials int, baseSeed uint64) ([]Cl
 // scan, and per-row folds run in trial order, so results are
 // bit-identical for every workers value.
 func ClusterScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int) ([]ClusterStats, error) {
+	return ClusterScanCtx(context.Background(), g, ps, trials, baseSeed, workers, nil)
+}
+
+// ClusterScanCtx is ClusterScanWorkers with cancellation and a progress
+// hook: a done ctx aborts the scan with ctx's error, progress — when
+// non-nil — observes each labeled sample, and a completed scan is
+// bit-identical to ClusterScanWorkers.
+func ClusterScanCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int, progress runner.Progress) ([]ClusterStats, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("percolation: cluster scan needs positive trials, got %d", trials)
 	}
-	samples, err := runner.Map(runner.New(workers), len(ps)*trials, func(flat int) (ClusterStats, error) {
+	samples, err := runner.MapCtx(ctx, runner.New(workers), len(ps)*trials, progress, func(flat int) (ClusterStats, error) {
 		row, t := flat/trials, flat%trials
 		s := New(g, ps[row], rng.Combine(baseSeed, uint64(row)<<32|uint64(t)))
 		comps, err := Label(s)

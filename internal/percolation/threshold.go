@@ -1,6 +1,7 @@
 package percolation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,19 +26,31 @@ func EventProbability(trials int, baseSeed uint64, event func(seed uint64) bool)
 // trial), so the estimate is identical for every workers value; the
 // event must be safe for concurrent calls when workers > 1.
 func EventProbabilityWorkers(trials int, baseSeed uint64, workers int, event func(seed uint64) bool) float64 {
+	prob, _ := EventProbabilityCtx(context.Background(), trials, baseSeed, workers, nil, event)
+	return prob
+}
+
+// EventProbabilityCtx is EventProbabilityWorkers with cancellation and a
+// progress hook: a done ctx aborts the estimate with ctx's error, and
+// progress — when non-nil — observes each completed trial. A run that
+// completes is identical to EventProbabilityWorkers.
+func EventProbabilityCtx(ctx context.Context, trials int, baseSeed uint64, workers int, progress runner.Progress, event func(seed uint64) bool) (float64, error) {
 	if trials <= 0 {
-		return 0
+		return 0, nil
 	}
-	hitFlags, _ := runner.Map(runner.New(workers), trials, func(t int) (bool, error) {
+	hitFlags, err := runner.MapCtx(ctx, runner.New(workers), trials, progress, func(t int) (bool, error) {
 		return event(rng.Combine(baseSeed, uint64(t))), nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	hits := 0
 	for _, h := range hitFlags {
 		if h {
 			hits++
 		}
 	}
-	return float64(hits) / float64(trials)
+	return float64(hits) / float64(trials), nil
 }
 
 // ConnectionProbability estimates Pr[u ~ v] in G_p over `trials` samples,
@@ -70,22 +83,41 @@ func FindThreshold(lo, hi, target, tol float64, trials int, baseSeed uint64, eve
 // themselves are inherently sequential). The located threshold is
 // identical for every workers value.
 func FindThresholdWorkers(lo, hi, target, tol float64, trials int, baseSeed uint64, workers int, event func(p float64, seed uint64) bool) (float64, error) {
+	return FindThresholdCtx(context.Background(), lo, hi, target, tol, trials, baseSeed, workers, nil, event)
+}
+
+// FindThresholdCtx is FindThresholdWorkers with cancellation and a
+// progress hook threaded through every Monte-Carlo batch of the
+// bisection. A done ctx aborts the search with ctx's error; a completed
+// search is identical to FindThresholdWorkers.
+func FindThresholdCtx(ctx context.Context, lo, hi, target, tol float64, trials int, baseSeed uint64, workers int, progress runner.Progress, event func(p float64, seed uint64) bool) (float64, error) {
 	if lo >= hi || tol <= 0 {
 		return 0, fmt.Errorf("percolation: invalid bracket [%v, %v] or tol %v", lo, hi, tol)
 	}
-	probAt := func(p float64) float64 {
-		return EventProbabilityWorkers(trials, rng.Combine(baseSeed, uint64(p*1e9)), workers, func(seed uint64) bool {
+	probAt := func(p float64) (float64, error) {
+		return EventProbabilityCtx(ctx, trials, rng.Combine(baseSeed, uint64(p*1e9)), workers, progress, func(seed uint64) bool {
 			return event(p, seed)
 		})
 	}
-	pl, ph := probAt(lo), probAt(hi)
+	pl, err := probAt(lo)
+	if err != nil {
+		return 0, err
+	}
+	ph, err := probAt(hi)
+	if err != nil {
+		return 0, err
+	}
 	if pl > target || ph < target {
 		return 0, fmt.Errorf("%w: Pr(lo)=%.3f Pr(hi)=%.3f target=%.3f",
 			ErrBadBracket, pl, ph, target)
 	}
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		if probAt(mid) < target {
+		pm, err := probAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if pm < target {
 			lo = mid
 		} else {
 			hi = mid
@@ -117,6 +149,14 @@ func GiantScan(g graph.Graph, ps []float64, trials int, baseSeed uint64) ([]Gian
 // per-row folds run in trial order, so results are bit-identical for
 // every workers value.
 func GiantScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int) ([]GiantStats, error) {
+	return GiantScanCtx(context.Background(), g, ps, trials, baseSeed, workers, nil)
+}
+
+// GiantScanCtx is GiantScanWorkers with cancellation and a progress
+// hook: a done ctx aborts the scan with ctx's error, progress — when
+// non-nil — observes each labeled sample, and a completed scan is
+// bit-identical to GiantScanWorkers.
+func GiantScanCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int, progress runner.Progress) ([]GiantStats, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("percolation: giant scan needs positive trials, got %d", trials)
 	}
@@ -124,7 +164,7 @@ func GiantScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64, 
 		giant, second float64
 		components    uint64
 	}
-	samples, err := runner.Map(runner.New(workers), len(ps)*trials, func(flat int) (sample, error) {
+	samples, err := runner.MapCtx(ctx, runner.New(workers), len(ps)*trials, progress, func(flat int) (sample, error) {
 		row, t := flat/trials, flat%trials
 		seed := rng.Combine(baseSeed, uint64(row)<<32|uint64(t))
 		comps, err := Label(New(g, ps[row], seed))

@@ -16,10 +16,20 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// Progress observes completed work: the pool invokes it once per
+// finished shard with the number of newly completed shards (currently
+// always 1). Implementations must be safe for concurrent calls when the
+// pool runs more than one worker — an atomic counter is the intended
+// shape — and must never influence what the shards compute: progress is
+// observability, not scheduling, so results stay bit-identical whether
+// or not a hook is installed.
+type Progress func(delta int)
 
 // DefaultWorkers returns the worker count used when a caller asks for
 // "all cores": runtime.GOMAXPROCS(0).
@@ -68,8 +78,24 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 // every index below the lowest failing one is guaranteed to have run;
 // indices above it may be skipped once a failure is observed.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, nil, fn)
+}
+
+// MapCtx is Map with cancellation and a progress hook.
+//
+// Cancellation contract: workers stop claiming shards once ctx is done
+// and MapCtx returns ctx.Err() — unless some shard had already failed,
+// in which case the lowest-index shard error wins exactly as in Map.
+// A nil ctx means context.Background(); a nil progress installs no hook.
+// Cancellation only ever truncates a run, it never alters what any
+// completed shard computed, so a run that finishes without tripping the
+// context is bit-identical to an uncancellable one.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, progress Progress, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := p.workers
 	if workers > n {
@@ -77,17 +103,25 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	if workers <= 1 {
-		// Sequential path: a plain loop, stopping at the first error.
+		// Sequential path: a plain loop, stopping at the first error or
+		// at cancellation.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
+			if progress != nil {
+				progress(1)
+			}
 		}
 		return out, nil
 	}
 	errs := make([]error, n)
+	done := ctx.Done()
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -98,6 +132,11 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -109,6 +148,9 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				out[i] = v
+				if progress != nil {
+					progress(1)
+				}
 			}
 		}()
 	}
@@ -119,6 +161,9 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 				return nil, err
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
