@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"bytes"
@@ -6,49 +6,134 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"faultroute/internal/cache"
 	"faultroute/internal/core"
 	"faultroute/internal/exp"
 	"faultroute/internal/graph"
-	"faultroute/internal/jobs"
 	"faultroute/internal/percolation"
 	"faultroute/internal/route"
 	"faultroute/internal/runner"
 )
 
-// This file defines the job specs of the HTTP API and their
-// normalization into (canonical spec, work-unit total, task closure)
-// triples.
+// This file turns requests into executable plans: validation,
+// normalization into the canonical spec, content-address derivation,
+// and the task closure every backend runs.
 //
 // Normalization is what makes the result cache exact: every optional
 // field is resolved to its effective value (default router, topology
 // default destination, retry budget, seed) BEFORE the spec is hashed,
 // so two submissions that mean the same job — however sparsely they
 // were written — land on the same content address. Worker counts are
-// deliberately not part of any spec below: results are bit-identical at
-// any worker count, so parallelism is a per-submission execution hint
-// (jobRequest.Workers), never part of a job's identity.
+// deliberately not part of any spec: results are bit-identical at any
+// worker count, so parallelism is a per-request execution hint
+// (Request.Workers), never part of a job's identity.
 
-// graphSpec selects a topology. Only the fields a family uses survive
-// normalization (e.g. a mesh keeps d and side, never n), so irrelevant
-// fields cannot split the cache.
-type graphSpec struct {
-	// Family is one of hypercube, mesh, torus, doubletree, complete,
-	// debruijn, shuffleexchange, butterfly, cyclematching, ring.
-	Family string `json:"family"`
-	// N is the size parameter (dimension, depth or order).
-	N int `json:"n,omitempty"`
-	// D and Side shape mesh/torus families (d defaults to 2).
-	D    int `json:"d,omitempty"`
-	Side int `json:"side,omitempty"`
-	// Seed wires the random matching of the cyclematching family.
-	Seed uint64 `json:"seed,omitempty"`
+// Plan is a compiled request: the normalized Request, its content
+// address, the expected work-unit total (0 when unknown up front, as
+// for experiments), and the Task that computes the canonical result
+// bytes. Every backend executes requests through a Plan, which is how
+// the byte-identity guarantee holds across them.
+type Plan struct {
+	// Request is the normalized submission (Workers preserved as the
+	// execution hint it is).
+	Request Request
+	// Key is the content address: hex(SHA-256(kind || 0x00 ||
+	// canonicalJSON(normalized spec))).
+	Key string
+	// Total is the expected number of work units for progress
+	// reporting, or 0 when unknown.
+	Total int64
+	// Task computes the canonical result bytes.
+	Task Task
 }
 
-// buildGraph validates a graphSpec, constructs the topology, and
+// Compile validates and normalizes a request and returns its
+// executable plan. Request.Workers caps the task's trial-level
+// parallelism (<= 0 selects all cores) and never affects the key or
+// the result bytes.
+func Compile(req Request) (*Plan, error) {
+	var (
+		norm  Request
+		spec  any
+		total int64
+		task  Task
+		err   error
+	)
+	norm.Kind, norm.Workers = req.Kind, req.Workers
+	switch req.Kind {
+	case KindEstimate:
+		if req.Estimate == nil {
+			return nil, fmt.Errorf("api: kind %s needs an estimate spec", KindEstimate)
+		}
+		var es EstimateSpec
+		es, total, task, err = normalizeEstimate(*req.Estimate, req.Workers)
+		norm.Estimate, spec = &es, es
+	case KindExperiment:
+		if req.Experiment == nil {
+			return nil, fmt.Errorf("api: kind %s needs an experiment spec", KindExperiment)
+		}
+		var xs ExperimentSpec
+		xs, total, task, err = normalizeExperiment(*req.Experiment, req.Workers)
+		norm.Experiment, spec = &xs, xs
+	case KindPercolation:
+		if req.Percolation == nil {
+			return nil, fmt.Errorf("api: kind %s needs a percolation spec", KindPercolation)
+		}
+		var ps PercolationSpec
+		ps, total, task, err = normalizePercolation(*req.Percolation, req.Workers)
+		norm.Percolation, spec = &ps, ps
+	default:
+		return nil, fmt.Errorf("api: unknown job kind %q (want %s, %s or %s)",
+			req.Kind, KindEstimate, KindExperiment, KindPercolation)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("invalid %s spec: %w", req.Kind, err)
+	}
+	key, err := cache.Key(req.Kind, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Request: norm, Key: key, Total: total, Task: task}, nil
+}
+
+// Normalize returns the request's canonical form — defaults filled in,
+// the topology-default destination resolved, irrelevant graph fields
+// dropped — without building its task. Two requests that normalize
+// equal have the same content address and byte-identical results.
+func Normalize(req Request) (Request, error) {
+	plan, err := Compile(req)
+	if err != nil {
+		return Request{}, err
+	}
+	return plan.Request, nil
+}
+
+// Key returns the request's content address. Clients may persist keys
+// (the scheme is wire-frozen, pinned by the golden tests in
+// internal/cache) and use them against GET /v1/results/{key}.
+func Key(req Request) (string, error) {
+	plan, err := Compile(req)
+	if err != nil {
+		return "", err
+	}
+	return plan.Key, nil
+}
+
+// NewGraph is the wire topology registry: it validates a GraphSpec and
+// constructs the topology it selects. It is the ONE mapping from wire
+// family names to graph implementations — normalization, the daemon and
+// the CLIs all build through it, so a family accepted on the wire is
+// constructible everywhere.
+func NewGraph(gs GraphSpec) (graph.Graph, error) {
+	g, _, _, _, err := buildGraph(gs)
+	return g, err
+}
+
+// buildGraph validates a GraphSpec, constructs the topology, and
 // returns the normalized spec alongside the family's default router and
 // destination.
-func buildGraph(gs graphSpec) (g graph.Graph, norm graphSpec, defaultRouter string, defaultDst graph.Vertex, err error) {
-	norm = graphSpec{Family: gs.Family}
+func buildGraph(gs GraphSpec) (g graph.Graph, norm GraphSpec, defaultRouter string, defaultDst graph.Vertex, err error) {
+	norm = GraphSpec{Family: gs.Family}
 	needN := func() error {
 		if gs.N <= 0 {
 			return fmt.Errorf("graph family %q needs a positive n", gs.Family)
@@ -149,9 +234,12 @@ func buildGraph(gs graphSpec) (g graph.Graph, norm graphSpec, defaultRouter stri
 	}
 }
 
-// buildRouter mirrors the faultroute CLI's router registry; seed feeds
-// the randomized G(n,p) routers.
-func buildRouter(name string, seed uint64) (route.Router, error) {
+// NewRouter is the wire router registry: it constructs the router a
+// spec's Router field names; seed feeds the randomized G(n,p) routers.
+// It is the ONE mapping from wire names to router implementations —
+// normalization, the daemon and the CLIs all resolve through it, so a
+// router accepted on the wire is constructible everywhere.
+func NewRouter(name string, seed uint64) (route.Router, error) {
 	switch name {
 	case "bfs-local":
 		return route.NewBFSLocal(), nil
@@ -170,41 +258,10 @@ func buildRouter(name string, seed uint64) (route.Router, error) {
 	}
 }
 
-// estimateSpec is a routing-complexity measurement job (core.Estimate
-// over the wire). Dst nil selects the family's canonical destination
-// (antipode, opposite corner, mirrored root); normalization resolves it.
-type estimateSpec struct {
-	Graph    graphSpec `json:"graph"`
-	P        float64   `json:"p"`
-	Router   string    `json:"router"`
-	Mode     string    `json:"mode"`
-	Budget   int       `json:"budget"`
-	Src      uint64    `json:"src"`
-	Dst      *uint64   `json:"dst"`
-	Trials   int       `json:"trials"`
-	MaxTries int       `json:"maxTries"`
-	Seed     uint64    `json:"seed"`
-}
-
-// estimateResult is the canonical JSON encoding of a core.Complexity.
-type estimateResult struct {
-	Trials   int     `json:"trials"`
-	Censored int     `json:"censored"`
-	Rejected int     `json:"rejected"`
-	Mean     float64 `json:"mean"`
-	Std      float64 `json:"std"`
-	Min      float64 `json:"min"`
-	Q25      float64 `json:"q25"`
-	Median   float64 `json:"median"`
-	Q75      float64 `json:"q75"`
-	P90      float64 `json:"p90"`
-	Max      float64 `json:"max"`
-}
-
 // normalizeEstimate validates an estimate submission and returns the
 // canonical spec plus the job's task and work-unit total.
-func normalizeEstimate(es estimateSpec, workers int) (estimateSpec, int64, jobs.Task, error) {
-	var zero estimateSpec
+func normalizeEstimate(es EstimateSpec, workers int) (EstimateSpec, int64, Task, error) {
+	var zero EstimateSpec
 	g, normGraph, defaultRouter, defaultDst, err := buildGraph(es.Graph)
 	if err != nil {
 		return zero, 0, nil, err
@@ -232,7 +289,7 @@ func normalizeEstimate(es estimateSpec, workers int) (estimateSpec, int64, jobs.
 	if norm.Budget < 0 {
 		return zero, 0, nil, fmt.Errorf("budget must be non-negative, got %d", norm.Budget)
 	}
-	r, err := buildRouter(norm.Router, norm.Seed)
+	r, err := NewRouter(norm.Router, norm.Seed)
 	if err != nil {
 		return zero, 0, nil, err
 	}
@@ -257,7 +314,7 @@ func normalizeEstimate(es estimateSpec, workers int) (estimateSpec, int64, jobs.
 		if err != nil {
 			return nil, err
 		}
-		return encodeResult(estimateResult{
+		return encodeResult(EstimateResult{
 			Trials:   c.Trials,
 			Censored: c.Censored,
 			Rejected: c.Rejected,
@@ -274,18 +331,9 @@ func normalizeEstimate(es estimateSpec, workers int) (estimateSpec, int64, jobs.
 	return norm, int64(norm.Trials), task, nil
 }
 
-// experimentSpec is one EXPERIMENTS.md experiment run (E1..E18). Its
-// result is the canonical Table JSON — byte-identical to
-// `routebench -exp <id> -format json` at the same seed and scale.
-type experimentSpec struct {
-	ID    string `json:"id"`
-	Seed  uint64 `json:"seed"`
-	Scale string `json:"scale"`
-}
-
 // normalizeExperiment validates an experiment submission.
-func normalizeExperiment(es experimentSpec, workers int) (experimentSpec, int64, jobs.Task, error) {
-	var zero experimentSpec
+func normalizeExperiment(es ExperimentSpec, workers int) (ExperimentSpec, int64, Task, error) {
+	var zero ExperimentSpec
 	e, err := exp.ByID(es.ID)
 	if err != nil {
 		return zero, 0, nil, err
@@ -328,35 +376,9 @@ func normalizeExperiment(es experimentSpec, workers int) (experimentSpec, int64,
 	return norm, 0, task, nil
 }
 
-// percolationSpec is a component-structure sweep (the percolate CLI's
-// giant/cluster scans over the wire).
-type percolationSpec struct {
-	Graph    graphSpec `json:"graph"`
-	Ps       []float64 `json:"ps"`
-	Trials   int       `json:"trials"`
-	Seed     uint64    `json:"seed"`
-	Clusters bool      `json:"clusters"`
-}
-
-// giantRow / clusterRow fix the JSON field order of percolation results.
-type giantRow struct {
-	P              float64 `json:"p"`
-	GiantFraction  float64 `json:"giantFraction"`
-	SecondFraction float64 `json:"secondFraction"`
-	Components     uint64  `json:"components"`
-}
-
-type clusterRow struct {
-	P           float64 `json:"p"`
-	Theta       float64 `json:"theta"`
-	Chi         float64 `json:"chi"`
-	MeanCluster float64 `json:"meanCluster"`
-	Clusters    uint64  `json:"clusters"`
-}
-
 // normalizePercolation validates a percolation submission.
-func normalizePercolation(ps percolationSpec, workers int) (percolationSpec, int64, jobs.Task, error) {
-	var zero percolationSpec
+func normalizePercolation(ps PercolationSpec, workers int) (PercolationSpec, int64, Task, error) {
+	var zero PercolationSpec
 	g, normGraph, _, _, err := buildGraph(ps.Graph)
 	if err != nil {
 		return zero, 0, nil, err
@@ -384,25 +406,21 @@ func normalizePercolation(ps percolationSpec, workers int) (percolationSpec, int
 			if err != nil {
 				return nil, err
 			}
-			out := make([]clusterRow, len(rows))
+			out := make([]ClusterRow, len(rows))
 			for i, r := range rows {
-				out[i] = clusterRow{P: r.P, Theta: r.Theta, Chi: r.Chi, MeanCluster: r.MeanCluster, Clusters: r.Clusters}
+				out[i] = ClusterRow{P: r.P, Theta: r.Theta, Chi: r.Chi, MeanCluster: r.MeanCluster, Clusters: r.Clusters}
 			}
-			return encodeResult(struct {
-				Rows []clusterRow `json:"rows"`
-			}{out})
+			return encodeResult(ClusterResult{Rows: out})
 		}
 		rows, err := percolation.GiantScanCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress)
 		if err != nil {
 			return nil, err
 		}
-		out := make([]giantRow, len(rows))
+		out := make([]GiantRow, len(rows))
 		for i, r := range rows {
-			out[i] = giantRow{P: r.P, GiantFraction: r.GiantFraction, SecondFraction: r.SecondFraction, Components: r.Components}
+			out[i] = GiantRow{P: r.P, GiantFraction: r.GiantFraction, SecondFraction: r.SecondFraction, Components: r.Components}
 		}
-		return encodeResult(struct {
-			Rows []giantRow `json:"rows"`
-		}{out})
+		return encodeResult(GiantResult{Rows: out})
 	}
 	return norm, int64(len(norm.Ps) * norm.Trials), task, nil
 }

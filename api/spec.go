@@ -1,0 +1,111 @@
+package api
+
+// This file holds the wire-frozen spec and result structs. Field order,
+// names, tags and types are part of the content-address scheme (the
+// structs are hashed via their encoding/json form — see Compile), so
+// any change here is a breaking change to persisted keys; the golden
+// tests in internal/cache pin the current layout.
+
+// GraphSpec selects a topology. Only the fields a family uses survive
+// normalization (e.g. a mesh keeps d and side, never n), so irrelevant
+// fields cannot split the cache.
+type GraphSpec struct {
+	// Family is one of hypercube, mesh, torus, doubletree, complete,
+	// debruijn, shuffleexchange, butterfly, cyclematching, ring.
+	Family string `json:"family"`
+	// N is the size parameter (dimension, depth or order).
+	N int `json:"n,omitempty"`
+	// D and Side shape mesh/torus families (d defaults to 2).
+	D    int `json:"d,omitempty"`
+	Side int `json:"side,omitempty"`
+	// Seed wires the random matching of the cyclematching family.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// EstimateSpec is a routing-complexity measurement job (core.Estimate
+// over the wire). Dst nil selects the family's canonical destination
+// (antipode, opposite corner, mirrored root); normalization resolves it.
+type EstimateSpec struct {
+	Graph    GraphSpec `json:"graph"`
+	P        float64   `json:"p"`
+	Router   string    `json:"router"`
+	Mode     string    `json:"mode"`
+	Budget   int       `json:"budget"`
+	Src      uint64    `json:"src"`
+	Dst      *uint64   `json:"dst"`
+	Trials   int       `json:"trials"`
+	MaxTries int       `json:"maxTries"`
+	Seed     uint64    `json:"seed"`
+}
+
+// ExperimentSpec is one EXPERIMENTS.md experiment run (E1..E18). Its
+// result is the canonical Table JSON — byte-identical to
+// `routebench -exp <id> -format json` at the same seed and scale.
+type ExperimentSpec struct {
+	ID    string `json:"id"`
+	Seed  uint64 `json:"seed"`
+	Scale string `json:"scale"`
+}
+
+// PercolationSpec is a component-structure sweep (the percolate CLI's
+// giant/cluster scans over the wire).
+type PercolationSpec struct {
+	Graph    GraphSpec `json:"graph"`
+	Ps       []float64 `json:"ps"`
+	Trials   int       `json:"trials"`
+	Seed     uint64    `json:"seed"`
+	Clusters bool      `json:"clusters"`
+}
+
+// EstimateResult is the canonical JSON encoding of a core.Complexity.
+type EstimateResult struct {
+	Trials   int     `json:"trials"`
+	Censored int     `json:"censored"`
+	Rejected int     `json:"rejected"`
+	Mean     float64 `json:"mean"`
+	Std      float64 `json:"std"`
+	Min      float64 `json:"min"`
+	Q25      float64 `json:"q25"`
+	Median   float64 `json:"median"`
+	Q75      float64 `json:"q75"`
+	P90      float64 `json:"p90"`
+	Max      float64 `json:"max"`
+}
+
+// TableResult is the canonical encoding of an experiment table — the
+// exp.Table JSON shape (`{"id","title","claim","columns","rows","notes"}`).
+type TableResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+}
+
+// GiantRow / ClusterRow fix the JSON field order of percolation
+// results.
+type GiantRow struct {
+	P              float64 `json:"p"`
+	GiantFraction  float64 `json:"giantFraction"`
+	SecondFraction float64 `json:"secondFraction"`
+	Components     uint64  `json:"components"`
+}
+
+type ClusterRow struct {
+	P           float64 `json:"p"`
+	Theta       float64 `json:"theta"`
+	Chi         float64 `json:"chi"`
+	MeanCluster float64 `json:"meanCluster"`
+	Clusters    uint64  `json:"clusters"`
+}
+
+// GiantResult is the result payload of a percolation request with
+// Clusters false; ClusterResult the payload with Clusters true.
+type GiantResult struct {
+	Rows []GiantRow `json:"rows"`
+}
+
+type ClusterResult struct {
+	Rows []ClusterRow `json:"rows"`
+}

@@ -1,0 +1,291 @@
+// Package client is the remote implementation of api.Runner: a typed
+// Go client for the faultrouted HTTP service (see SERVING.md).
+//
+// A Client is interchangeable with faultroute.Local — the same
+// api.Request produces byte-identical canonical result bytes through
+// either, because both execute the one compiled codec of faultroute/api
+// and the service serves exactly the bytes it cached. Do submits a job,
+// polls it to completion and fetches the result; Watch additionally
+// streams progress events; the lower-level Submit / Status / Result /
+// Cancel calls expose the raw endpoints for callers that manage jobs
+// themselves.
+//
+// Submissions are content-addressed and therefore idempotent: the
+// client retries transient failures (network errors, 503 queue-full)
+// with exponential backoff, which can never duplicate work — a retried
+// submission coalesces onto the first one's job.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"faultroute/api"
+)
+
+// Client speaks to one faultrouted daemon. Construct with New; a
+// Client is immutable after construction and safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	poll    time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithPollInterval sets how often Do and Watch poll a running job's
+// status (default 100ms).
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// WithRetry sets the transient-failure policy: up to retries extra
+// attempts with exponential backoff starting at base (defaults: 3 and
+// 100ms). Retried calls are all idempotent — submissions coalesce by
+// content address — so retrying is always safe.
+func WithRetry(retries int, base time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = retries, base }
+}
+
+// New returns a client for the daemon at base, e.g.
+// "http://localhost:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      http.DefaultClient,
+		poll:    100 * time.Millisecond,
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Compile-time check: Client and faultroute.Local are interchangeable.
+var _ api.Runner = (*Client)(nil)
+
+// APIError is a non-2xx response from the service, carrying the HTTP
+// status code and the server's JSON error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("faultrouted: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// JobError reports a job that reached a terminal state other than done
+// (failed server-side, or canceled by another client).
+type JobError struct {
+	Status api.JobStatus
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("faultrouted: job %s %s: %s", e.Status.ID, e.Status.State, e.Status.Error)
+}
+
+// Do executes the request remotely: submit (or coalesce / hit the
+// daemon's cache), poll until terminal, fetch the canonical result
+// bytes. The returned Body is byte-identical to a faultroute.Local run
+// of the same request.
+func (c *Client) Do(ctx context.Context, req api.Request) (api.Result, error) {
+	return c.run(ctx, req, nil)
+}
+
+// Watch is Do with progress events: onEvent observes the job's state
+// and trial counters at every poll (deduplicated, in order) until the
+// job is terminal.
+func (c *Client) Watch(ctx context.Context, req api.Request, onEvent func(api.Event)) (api.Result, error) {
+	return c.run(ctx, req, onEvent)
+}
+
+func (c *Client) run(ctx context.Context, req api.Request, onEvent func(api.Event)) (api.Result, error) {
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		return api.Result{}, err
+	}
+	st := sub.Job
+	if onEvent != nil {
+		onEvent(api.Event{State: st.State, Done: st.Done, Total: st.Total})
+	}
+	if !st.State.Terminal() {
+		if st, err = c.await(ctx, st, onEvent); err != nil {
+			return api.Result{}, err
+		}
+	}
+	if st.State != api.JobDone {
+		return api.Result{}, &JobError{Status: st}
+	}
+	body, err := c.Result(ctx, st.Key)
+	if err != nil {
+		return api.Result{}, err
+	}
+	return api.Result{Kind: req.Kind, Key: st.Key, Body: body}, nil
+}
+
+// await polls the job until it is terminal, emitting deduplicated
+// progress events along the way.
+func (c *Client) await(ctx context.Context, st api.JobStatus, onEvent func(api.Event)) (api.JobStatus, error) {
+	last := api.Event{State: st.State, Done: st.Done, Total: st.Total}
+	for {
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(c.poll):
+		}
+		cur, err := c.Status(ctx, st.ID)
+		if err != nil {
+			return st, err
+		}
+		ev := api.Event{State: cur.State, Done: cur.Done, Total: cur.Total}
+		if onEvent != nil && ev != last {
+			onEvent(ev)
+			last = ev
+		}
+		if cur.State.Terminal() {
+			return cur, nil
+		}
+	}
+}
+
+// Submit posts the request to POST /v1/jobs and returns the daemon's
+// response: a fresh job, a coalesced attachment to an in-flight one, or
+// an immediate cache hit.
+func (c *Client) Submit(ctx context.Context, req api.Request) (api.SubmitResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return api.SubmitResponse{}, err
+	}
+	var out api.SubmitResponse
+	err = c.call(ctx, http.MethodPost, api.BasePath+"/jobs", payload, &out)
+	return out, err
+}
+
+// Status fetches GET /v1/jobs/{id}.
+func (c *Client) Status(ctx context.Context, id string) (api.JobStatus, error) {
+	var out api.JobStatus
+	err := c.call(ctx, http.MethodGet, api.BasePath+"/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Cancel issues DELETE /v1/jobs/{id} and returns the job's resulting
+// status. A job already finished yields an *APIError with StatusCode
+// 409 (the result, or failure, stands).
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	var out api.JobStatus
+	err := c.call(ctx, http.MethodDelete, api.BasePath+"/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Result fetches the canonical result bytes stored under a content
+// address — exactly the bytes the job computed, byte-comparable against
+// local runs. It returns a 404 *APIError while the job is still
+// running.
+func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.call(ctx, http.MethodGet, api.BasePath+"/results/"+key, nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Experiments fetches the machine-readable E1..E18 registry.
+func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentInfo, error) {
+	var out api.ExperimentList
+	if err := c.call(ctx, http.MethodGet, api.BasePath+"/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Experiments, nil
+}
+
+// Health fetches GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	err := c.call(ctx, http.MethodGet, api.BasePath+"/healthz", nil, &out)
+	return out, err
+}
+
+// call issues one API request with the retry policy and decodes the
+// response. Raw result bytes are preserved exactly: when out is a
+// *json.RawMessage the body is copied verbatim, never re-encoded.
+func (c *Client) call(ctx context.Context, method, path string, payload []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		retriable, err := c.once(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retriable || attempt >= c.retries {
+			return lastErr
+		}
+	}
+}
+
+// once issues a single HTTP request. retriable reports whether the
+// failure is transient (network error or 503): everything else — 4xx,
+// decode errors — is final.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) (retriable bool, err error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return false, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return ctx.Err() == nil, err // network failure: transient unless we were canceled
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return true, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb api.ErrorBody
+		_ = json.Unmarshal(data, &eb)
+		if eb.Error == "" {
+			eb.Error = strings.TrimSpace(string(data))
+		}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: eb.Error}
+		return resp.StatusCode == http.StatusServiceUnavailable, apiErr
+	}
+	if out == nil {
+		return false, nil
+	}
+	if raw, ok := out.(*json.RawMessage); ok {
+		*raw = append((*raw)[:0], data...)
+		return false, nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return false, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+	}
+	return false, nil
+}

@@ -12,13 +12,18 @@
 // With -trials N (N > 0) the command estimates the full routing
 // complexity distribution of Definition 2 instead of performing one
 // run: N percolation samples conditioned on {src ~ dst}, sharded
-// across -workers goroutines. -psweep batches several retention
-// probabilities through one worker pool:
+// across -workers goroutines. -psweep fans several retention
+// probabilities out as concurrent estimate requests:
 //
 //	faultroute -graph hypercube -n 12 -trials 50
 //	faultroute -graph hypercube -n 12 -trials 50 -psweep 0.3,0.4,0.5 -workers 4
 //
-// Output is bit-identical for every -workers value.
+// Output is bit-identical for every -workers value. Defaults (router,
+// destination, mode, seed) are resolved by api.Normalize — the same
+// normalization the faultrouted daemon applies — and estimate mode runs
+// through the shared Runner API (faultroute/api + faultroute.Local), so
+// the numbers printed here are decoded from exactly the canonical JSON
+// a daemon would cache for the same spec.
 package main
 
 import (
@@ -30,8 +35,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"faultroute"
+	"faultroute/api"
 )
 
 func main() {
@@ -57,7 +64,7 @@ func run(args []string) error {
 		d       = fs.Int("d", 2, "mesh/torus dimension")
 		side    = fs.Int("side", 16, "mesh/torus side length")
 		p       = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
-		seed    = fs.Uint64("seed", 1, "percolation seed")
+		seed    = fs.Uint64("seed", 1, "percolation seed (0 selects 1, the wire default)")
 		src     = fs.Uint64("src", 0, "source vertex")
 		dst     = fs.Int64("dst", -1, "destination vertex (-1: topology default, e.g. the antipode)")
 		router  = fs.String("router", "", "router: bfs-local, greedy, path-follow, double-tree-oracle, gnp-local, gnp-oracle (default: best fit for the topology)")
@@ -67,7 +74,7 @@ func run(args []string) error {
 		trials  = fs.Int("trials", 0, "estimate the complexity distribution over this many conditioned samples (0 = single run)")
 		tries   = fs.Int("tries", 100, "conditioning retry budget per trial (estimate mode)")
 		psweep  = fs.String("psweep", "", "comma-separated p values to batch in estimate mode (default: just -p)")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines in estimate mode (results are identical for any value)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "total trial-level parallelism in estimate mode, spread across the -psweep values (results are identical for any value)")
 		timeout = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,36 +84,40 @@ func run(args []string) error {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
-	g, defaultRouter, defaultDst, err := buildGraph(*family, *n, *d, *side, *seed)
-	if err != nil {
-		return err
+	if *seed == 0 {
+		*seed = 1 // wire normalization's default; applied up front so every path agrees
 	}
-	if *router == "" {
-		*router = defaultRouter
-	}
-	r, err := buildRouter(*router, *seed)
+	// The graph object (for the single-run path and its Name() header)
+	// comes from the same wire registry the daemon builds through.
+	g, err := api.NewGraph(api.GraphSpec{Family: *family, N: *n, D: *d, Side: *side, Seed: *seed})
 	if err != nil {
 		return err
 	}
 
-	spec := faultroute.Spec{Graph: g, P: *p, Router: r, Budget: *budget}
-	switch *mode {
-	case "local":
-		spec.Mode = faultroute.ModeLocal
-	case "oracle":
-		spec.Mode = faultroute.ModeOracle
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	// Resolve defaults (router, destination, mode) and validate through
+	// the one shared codec — exactly the normalization a faultrouted
+	// daemon would apply to this submission.
+	wire := api.EstimateSpec{
+		Graph:    api.GraphSpec{Family: *family, N: *n, D: *d, Side: *side, Seed: *seed},
+		P:        *p,
+		Router:   *router,
+		Mode:     *mode,
+		Budget:   *budget,
+		Src:      *src,
+		Trials:   max(*trials, 1), // placeholder in single-run mode; normalization needs a positive count
+		MaxTries: *tries,
+		Seed:     *seed,
 	}
-
-	source := faultroute.Vertex(*src)
-	target := defaultDst
 	if *dst >= 0 {
-		target = faultroute.Vertex(*dst)
+		dstv := uint64(*dst)
+		wire.Dst = &dstv
 	}
-	if uint64(source) >= g.Order() || uint64(target) >= g.Order() {
-		return fmt.Errorf("endpoints (%d, %d) out of range [0, %d)", source, target, g.Order())
+	norm, err := api.Normalize(api.Request{Kind: api.KindEstimate, Estimate: &wire})
+	if err != nil {
+		return err
 	}
+	ne := *norm.Estimate
+	source, target := faultroute.Vertex(ne.Src), faultroute.Vertex(*ne.Dst)
 
 	if *trials > 0 {
 		ctx := context.Background()
@@ -115,15 +126,24 @@ func run(args []string) error {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		return estimate(ctx, spec, source, target, *trials, *tries, *seed, *workers, *psweep)
+		return estimate(ctx, g.Name(), ne, *workers, *psweep)
 	}
 	if *psweep != "" {
 		return fmt.Errorf("-psweep requires estimate mode: pass -trials N (N > 0)")
 	}
 
+	r, err := api.NewRouter(ne.Router, ne.Seed)
+	if err != nil {
+		return err
+	}
+	spec := faultroute.Spec{Graph: g, P: ne.P, Router: r, Budget: ne.Budget}
+	if ne.Mode == "oracle" {
+		spec.Mode = faultroute.ModeOracle
+	}
+
 	fmt.Printf("%s  p=%v seed=%d  %s/%s  %d -> %d\n",
-		g.Name(), *p, *seed, r.Name(), spec.Mode, source, target)
-	out, err := faultroute.Run(spec, source, target, *seed)
+		g.Name(), ne.P, ne.Seed, r.Name(), spec.Mode, source, target)
+	out, err := faultroute.Run(spec, source, target, ne.Seed)
 	if err != nil {
 		return err
 	}
@@ -148,10 +168,17 @@ func run(args []string) error {
 	return nil
 }
 
-// estimate runs the multi-trial, multi-p estimate mode: one
-// EstimateBatch submission whose trials all share a single worker pool,
-// canceled as a whole when ctx's deadline (-timeout) passes.
-func estimate(ctx context.Context, spec faultroute.Spec, src, dst faultroute.Vertex, trials, tries int, seed uint64, workers int, psweep string) error {
+// estimate runs the multi-trial, multi-p estimate mode through the
+// Runner API: each p becomes one api.Request executed by a Local, with
+// enough ps in flight concurrently to keep roughly -workers trial
+// goroutines busy in total — each request parallelizes min(workers,
+// trials) trials, so when trials < workers several ps run at once
+// rather than leaving workers idle. The printed rows are decoded from
+// the canonical result JSON — the same bytes a faultrouted daemon
+// caches for the spec — and the whole sweep is canceled when ctx's
+// deadline (-timeout) passes. Per-request randomness is split from
+// (seed, trial), so concurrency never changes a number.
+func estimate(ctx context.Context, graphName string, spec api.EstimateSpec, workers int, psweep string) error {
 	ps := []float64{spec.P}
 	if psweep != "" {
 		ps = ps[:0]
@@ -163,112 +190,51 @@ func estimate(ctx context.Context, spec faultroute.Spec, src, dst faultroute.Ver
 			ps = append(ps, p)
 		}
 	}
-	reqs := make([]faultroute.EstimateRequest, len(ps))
-	for i, p := range ps {
-		s := spec
-		s.P = p
-		reqs[i] = faultroute.EstimateRequest{
-			Spec: s, Src: src, Dst: dst,
-			Trials: trials, MaxTries: tries, Seed: seed,
-		}
-	}
+	local := faultroute.NewLocal(faultroute.WithWorkers(workers))
 	fmt.Printf("%s  seed=%d  %s/%s  %d -> %d  (%d trials per p, %d workers)\n",
-		spec.Graph.Name(), seed, spec.Router.Name(), spec.Mode, src, dst, trials, workers)
-	results, err := faultroute.EstimateBatchCtx(ctx, reqs, workers, nil)
-	if err != nil {
-		return err
+		graphName, spec.Seed, spec.Router, spec.Mode, spec.Src, *spec.Dst, spec.Trials, workers)
+	// Cap in-flight ps so the total trial-goroutine count stays near
+	// workers: ceil(workers / per-request parallelism).
+	effective := workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	perReq := min(effective, spec.Trials)
+	sem := make(chan struct{}, (effective+perReq-1)/perReq)
+	type row struct {
+		c   api.EstimateResult
+		err error
+	}
+	rows := make([]row, len(ps))
+	var wg sync.WaitGroup
+	for i, p := range ps {
+		wg.Add(1)
+		go func(i int, p float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := spec
+			s.P = p
+			res, err := local.Do(ctx, api.Request{Kind: api.KindEstimate, Estimate: &s})
+			if err != nil {
+				rows[i].err = err
+				return
+			}
+			rows[i].c, rows[i].err = res.Estimate()
+		}(i, p)
+	}
+	wg.Wait()
+	for _, r := range rows {
+		if r.err != nil {
+			return r.err
+		}
 	}
 	fmt.Printf("%8s  %6s  %8s  %8s  %8s  %8s  %8s  %8s\n",
 		"p", "pairs", "mean", "median", "p90", "max", "censored", "rejected")
-	for i, c := range results {
+	for i, r := range rows {
+		c := r.c
 		fmt.Printf("%8.4f  %6d  %8.1f  %8.1f  %8.1f  %8.0f  %8d  %8d\n",
 			ps[i], c.Trials, c.Mean, c.Median, c.P90, c.Max, c.Censored, c.Rejected)
 	}
 	return nil
-}
-
-func buildGraph(family string, n, d, side int, seed uint64) (faultroute.Graph, string, faultroute.Vertex, error) {
-	switch family {
-	case "hypercube":
-		g, err := faultroute.NewHypercube(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "path-follow", g.Antipode(0), nil
-	case "mesh":
-		g, err := faultroute.NewMesh(d, side)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "path-follow", faultroute.Vertex(g.Order() - 1), nil
-	case "torus":
-		g, err := faultroute.NewTorus(d, side)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "path-follow", faultroute.Vertex(g.Order() - 1), nil
-	case "doubletree":
-		g, err := faultroute.NewDoubleTree(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "double-tree-oracle", g.RootB(), nil
-	case "complete":
-		g, err := faultroute.NewComplete(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "gnp-local", faultroute.Vertex(g.Order() - 1), nil
-	case "debruijn":
-		g, err := faultroute.NewDeBruijn(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
-	case "shuffleexchange":
-		g, err := faultroute.NewShuffleExchange(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
-	case "butterfly":
-		g, err := faultroute.NewButterfly(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
-	case "cyclematching":
-		g, err := faultroute.NewCycleMatching(n, seed)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "bfs-local", faultroute.Vertex(g.Order() - 1), nil
-	case "ring":
-		g, err := faultroute.NewRing(n)
-		if err != nil {
-			return nil, "", 0, err
-		}
-		return g, "path-follow", faultroute.Vertex(g.Order() / 2), nil
-	default:
-		return nil, "", 0, fmt.Errorf("unknown graph family %q", family)
-	}
-}
-
-func buildRouter(name string, seed uint64) (faultroute.Router, error) {
-	switch name {
-	case "bfs-local":
-		return faultroute.NewBFSRouter(), nil
-	case "greedy":
-		return faultroute.NewGreedyRouter(), nil
-	case "path-follow":
-		return faultroute.NewPathFollowRouter(), nil
-	case "double-tree-oracle":
-		return faultroute.NewDoubleTreeOracleRouter(), nil
-	case "gnp-local":
-		return faultroute.NewGnpLocalRouter(seed), nil
-	case "gnp-oracle":
-		return faultroute.NewGnpOracleRouter(seed), nil
-	default:
-		return nil, fmt.Errorf("unknown router %q", name)
-	}
 }

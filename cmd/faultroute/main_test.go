@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"faultroute/api"
 )
 
 func TestBuildGraphFamilies(t *testing.T) {
@@ -17,30 +19,42 @@ func TestBuildGraphFamilies(t *testing.T) {
 		if f == "cyclematching" {
 			n = 16
 		}
-		g, router, dst, err := buildGraph(f, n, 2, 8, 1)
+		g, err := api.NewGraph(api.GraphSpec{Family: f, N: n, D: 2, Side: 8, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
-		if g == nil || router == "" {
-			t.Fatalf("%s: incomplete result", f)
+		if g == nil {
+			t.Fatalf("%s: no graph", f)
 		}
-		if uint64(dst) >= g.Order() {
-			t.Fatalf("%s: default destination %d out of range", f, dst)
+		// The CLI resolves per-family defaults through api.Normalize; the
+		// resolved router must be constructible here and the destination
+		// in range for the graph the CLI built.
+		norm, err := api.Normalize(api.Request{Kind: api.KindEstimate, Estimate: &api.EstimateSpec{
+			Graph:  api.GraphSpec{Family: f, N: n, D: 2, Side: 8, Seed: 1},
+			P:      0.5,
+			Trials: 1,
+		}})
+		if err != nil {
+			t.Fatalf("%s: normalize: %v", f, err)
 		}
-		if _, err := buildRouter(router, 1); err != nil {
-			t.Fatalf("%s: default router %q invalid: %v", f, router, err)
+		ne := norm.Estimate
+		if _, err := api.NewRouter(ne.Router, 1); err != nil {
+			t.Fatalf("%s: default router %q invalid: %v", f, ne.Router, err)
+		}
+		if ne.Dst == nil || *ne.Dst >= g.Order() {
+			t.Fatalf("%s: default destination %v out of range", f, ne.Dst)
 		}
 	}
-	if _, _, _, err := buildGraph("nope", 5, 2, 8, 1); err == nil {
+	if _, err := api.NewGraph(api.GraphSpec{Family: "nope", N: 5}); err == nil {
 		t.Fatal("unknown family accepted")
 	}
 }
 
-func TestBuildRouterNames(t *testing.T) {
+func TestRouterRegistryNames(t *testing.T) {
 	for _, name := range []string{
 		"bfs-local", "greedy", "path-follow", "double-tree-oracle", "gnp-local", "gnp-oracle",
 	} {
-		r, err := buildRouter(name, 7)
+		r, err := api.NewRouter(name, 7)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -48,7 +62,7 @@ func TestBuildRouterNames(t *testing.T) {
 			t.Fatalf("router %q reports name %q", name, r.Name())
 		}
 	}
-	if _, err := buildRouter("nope", 1); err == nil {
+	if _, err := api.NewRouter("nope", 1); err == nil {
 		t.Fatal("unknown router accepted")
 	}
 }

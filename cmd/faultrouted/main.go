@@ -18,6 +18,10 @@
 // under the SHA-256 of the canonical spec encoding, duplicate
 // submissions coalesce onto one in-flight job, and repeat queries are
 // O(1) cache hits that never recompute.
+//
+// The command is a thin flag wrapper: the HTTP layer lives in
+// faultroute/serve (embeddable in tests and other programs), the wire
+// types in faultroute/api, and a typed Go client in faultroute/client.
 package main
 
 import (
@@ -32,8 +36,7 @@ import (
 	"syscall"
 	"time"
 
-	"faultroute/internal/cache"
-	"faultroute/internal/jobs"
+	"faultroute/serve"
 )
 
 func main() {
@@ -66,13 +69,16 @@ func run(args []string) error {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
-	store := cache.NewStore()
-	engine := jobs.NewEngine(store, *executors, *depth)
-	defer engine.Close()
+	svc := serve.New(serve.Options{
+		Workers:    *workers,
+		Executors:  *executors,
+		QueueDepth: *depth,
+	})
+	defer svc.Close()
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: (&server{engine: engine, store: store, workers: *workers}).routes(),
+		Handler: svc.Handler(),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,6 +11,10 @@
 //
 // Sweeps and threshold searches shard their Monte-Carlo work across
 // -workers goroutines; output is identical for every -workers value.
+// Sweeps run through the shared Runner API (faultroute/api +
+// faultroute.Local), so the rows printed here are decoded from exactly
+// the canonical JSON a faultrouted daemon would cache for the same
+// spec.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"strings"
 
 	"faultroute"
+	"faultroute/api"
 	"faultroute/internal/graph"
 	"faultroute/internal/percolation"
 	"faultroute/internal/route"
@@ -55,7 +60,7 @@ func run(args []string) error {
 		side      = fs.Int("side", 24, "mesh/torus side length")
 		sweep     = fs.String("sweep", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated p values to scan")
 		trials    = fs.Int("trials", 10, "samples per p")
-		seed      = fs.Uint64("seed", 1, "base seed")
+		seed      = fs.Uint64("seed", 1, "base seed (0 selects 1, the wire default)")
 		threshold = fs.Bool("threshold", false, "bisect for the p where a canonical connection event has probability 1/2")
 		clusters  = fs.Bool("clusters", false, "report cluster statistics (theta, susceptibility) instead of giant fractions")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the Monte-Carlo sweeps (results are identical for any value)")
@@ -68,6 +73,10 @@ func run(args []string) error {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
+	if *seed == 0 {
+		*seed = 1 // wire normalization's default; applied up front so every path agrees
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -75,7 +84,9 @@ func run(args []string) error {
 		defer cancel()
 	}
 
-	g, err := buildGraph(*family, *n, *d, *side, *seed)
+	// The graph object (for headers and the threshold path) comes from
+	// the same wire registry the daemon builds through.
+	g, err := api.NewGraph(api.GraphSpec{Family: *family, N: *n, D: *d, Side: *side, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -88,26 +99,43 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Sweeps go through the Runner API: one percolation request, decoded
+	// from the canonical result bytes.
+	req := api.Request{
+		Kind: api.KindPercolation,
+		Percolation: &api.PercolationSpec{
+			Graph:    api.GraphSpec{Family: *family, N: *n, D: *d, Side: *side, Seed: *seed},
+			Ps:       ps,
+			Trials:   *trials,
+			Seed:     *seed,
+			Clusters: *clusters,
+		},
+		Workers: *workers,
+	}
+	res, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		return err
+	}
 	if *clusters {
-		rows, err := percolation.ClusterScanCtx(ctx, g, ps, *trials, *seed, *workers, nil)
+		out, err := res.Clusters()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%s: cluster statistics (%d trials per p)\n", g.Name(), *trials)
 		fmt.Printf("%8s  %10s  %12s  %12s  %10s\n", "p", "theta", "chi", "mean size", "clusters")
-		for _, r := range rows {
+		for _, r := range out.Rows {
 			fmt.Printf("%8.4f  %10.4f  %12.3f  %12.3f  %10d\n",
 				r.P, r.Theta, r.Chi, r.MeanCluster, r.Clusters)
 		}
 		return nil
 	}
-	rows, err := percolation.GiantScanCtx(ctx, g, ps, *trials, *seed, *workers, nil)
+	out, err := res.Giant()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: giant component scan (%d trials per p)\n", g.Name(), *trials)
 	fmt.Printf("%8s  %12s  %12s  %10s\n", "p", "giant frac", "second frac", "components")
-	for _, r := range rows {
+	for _, r := range out.Rows {
 		fmt.Printf("%8.4f  %12.4f  %12.4f  %10d\n", r.P, r.GiantFraction, r.SecondFraction, r.Components)
 	}
 	return nil
@@ -156,31 +184,4 @@ func parseSweep(s string) ([]float64, error) {
 		ps = append(ps, p)
 	}
 	return ps, nil
-}
-
-func buildGraph(family string, n, d, side int, seed uint64) (faultroute.Graph, error) {
-	switch family {
-	case "hypercube":
-		return faultroute.NewHypercube(n)
-	case "mesh":
-		return faultroute.NewMesh(d, side)
-	case "torus":
-		return faultroute.NewTorus(d, side)
-	case "doubletree":
-		return faultroute.NewDoubleTree(n)
-	case "complete":
-		return faultroute.NewComplete(n)
-	case "debruijn":
-		return faultroute.NewDeBruijn(n)
-	case "shuffleexchange":
-		return faultroute.NewShuffleExchange(n)
-	case "butterfly":
-		return faultroute.NewButterfly(n)
-	case "cyclematching":
-		return faultroute.NewCycleMatching(n, seed)
-	case "ring":
-		return faultroute.NewRing(n)
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
-	}
 }

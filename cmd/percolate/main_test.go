@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"testing"
+
+	"faultroute/api"
 )
 
 func TestParseSweep(t *testing.T) {
@@ -28,11 +30,11 @@ func TestBuildGraphAllFamilies(t *testing.T) {
 		if f == "cyclematching" {
 			n = 16
 		}
-		if _, err := buildGraph(f, n, 2, 8, 1); err != nil {
+		if _, err := api.NewGraph(api.GraphSpec{Family: f, N: n, D: 2, Side: 8, Seed: 1}); err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
 	}
-	if _, err := buildGraph("nope", 5, 2, 8, 1); err == nil {
+	if _, err := api.NewGraph(api.GraphSpec{Family: "nope", N: 5}); err == nil {
 		t.Fatal("unknown family accepted")
 	}
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"faultroute"
+	"faultroute/api"
+	"faultroute/client"
+	"faultroute/serve"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = orig
+	if ferr != nil {
+		t.Fatalf("captured run failed: %v", ferr)
+	}
+	return <-done
+}
+
+func TestJSONOutputByteIdenticalAcrossAllThreeEntryPoints(t *testing.T) {
+	// The acceptance criterion of the Runner redesign: the same request
+	// through `routebench -format json`, through faultroute.Local, and
+	// through the HTTP client against a faultrouted service must produce
+	// byte-identical canonical JSON.
+	req := api.Request{
+		Kind:       api.KindExperiment,
+		Experiment: &api.ExperimentSpec{ID: "E5", Seed: 1, Scale: "quick"},
+	}
+
+	viaCLI := captureStdout(t, func() error {
+		return run([]string{"-exp", "E5", "-seed", "1", "-scale", "quick", "-format", "json"})
+	})
+
+	viaLocal, err := faultroute.NewLocal().Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := serve.New(serve.Options{Workers: 2, Executors: 2, QueueDepth: 8})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	viaClient, err := client.New(ts.URL, client.WithPollInterval(5*time.Millisecond)).
+		Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(viaCLI, viaLocal.Body) {
+		t.Errorf("CLI and Local bytes differ:\ncli:   %s\nlocal: %s", viaCLI, viaLocal.Body)
+	}
+	if !bytes.Equal(viaLocal.Body, viaClient.Body) {
+		t.Errorf("Local and client bytes differ:\nlocal:  %s\nclient: %s", viaLocal.Body, viaClient.Body)
+	}
+	if viaLocal.Key != viaClient.Key {
+		t.Errorf("content addresses differ: %s vs %s", viaLocal.Key, viaClient.Key)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"strings"
 	"time"
 
+	"faultroute"
+	"faultroute/api"
 	"faultroute/internal/exp"
 )
 
@@ -50,7 +52,7 @@ func run(args []string) error {
 	var (
 		list    = fs.Bool("list", false, "list experiments and exit")
 		ids     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed    = fs.Uint64("seed", 1, "base random seed (same seed, same tables)")
+		seed    = fs.Uint64("seed", 1, "base random seed (same seed, same tables; 0 selects 1, the wire default)")
 		scale   = fs.String("scale", "quick", "parameter scale: quick or full")
 		plots   = fs.Bool("plot", false, "also render ASCII figures for experiments that define them")
 		format  = fs.String("format", "text", "table format: text, csv, markdown, or json (the canonical encoding the faultrouted cache serves)")
@@ -62,6 +64,10 @@ func run(args []string) error {
 			return nil
 		}
 		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+
+	if *seed == 0 {
+		*seed = 1 // wire normalization's default; applied up front so every format agrees
 	}
 
 	if *list {
@@ -105,6 +111,30 @@ func run(args []string) error {
 			}
 			chosen = append(chosen, e)
 		}
+	}
+
+	// JSON is the canonical wire encoding: run it through the shared
+	// Runner API so the emitted bytes are, by construction, the same
+	// canonical JSON faultrouted caches and the remote client decodes.
+	// (-plot needs the in-process *Table for its figures and keeps the
+	// direct path; its tables encode identically.)
+	if *format == "json" && !*plots {
+		local := faultroute.NewLocal()
+		for _, e := range chosen {
+			req := api.Request{
+				Kind:       api.KindExperiment,
+				Experiment: &api.ExperimentSpec{ID: e.ID, Seed: *seed, Scale: *scale},
+				Workers:    *workers,
+			}
+			res, err := local.Do(ctx, req)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if _, err := os.Stdout.Write(res.Body); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	render := func(tbl *exp.Table) error {

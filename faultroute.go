@@ -26,8 +26,19 @@
 // (graph, percolation, probe, route, runner, core, exp, sim, overlay),
 // re-exported here as type aliases so downstream code needs a single
 // import. Multi-trial estimates shard across a deterministic worker
-// pool — see EstimateWorkers and EstimateBatch; results are
-// bit-identical for every worker count.
+// pool; results are bit-identical for every worker count.
+//
+// The execution surface is the Runner API: build an api.Request (the
+// one wire-stable submission type of faultroute/api) and run it through
+// a Local —
+//
+//	local := faultroute.NewLocal(faultroute.WithWorkers(8))
+//	res, _ := local.Do(ctx, api.Request{Kind: api.KindEstimate, Estimate: &spec})
+//
+// — or through faultroute/client against a faultrouted daemon; the two
+// are interchangeable implementations of api.Runner and return
+// byte-identical canonical results. The Estimate* free functions remain
+// as deprecated wrappers over Local for the pre-Runner call sites.
 package faultroute
 
 import (
@@ -284,16 +295,24 @@ func Run(spec Spec, src, dst Vertex, seed uint64) (Outcome, error) {
 // Estimate measures the routing-complexity distribution over `trials`
 // samples conditioned on {src ~ dst}; see core.Estimate. It is the
 // single-worker case of EstimateWorkers.
+//
+// Deprecated: use NewLocal(WithWorkers(1)).Estimate, or run wire specs
+// through Local.Do. The free function remains for compatibility and is
+// a thin wrapper with identical results.
 func Estimate(spec Spec, src, dst Vertex, trials, maxTries int, seed uint64) (Complexity, error) {
-	return core.Estimate(spec, src, dst, trials, maxTries, seed)
+	return NewLocal(WithWorkers(1)).Estimate(context.Background(), spec, src, dst, trials, maxTries, seed)
 }
 
 // EstimateWorkers is Estimate with its trials sharded across a worker
 // pool (workers <= 0 selects all cores). Results are bit-identical for
 // every workers value: each trial's randomness is split from (seed,
 // trial index), never from scheduling. See core.EstimateWorkers.
+//
+// Deprecated: use NewLocal(WithWorkers(workers)).Estimate. The free
+// function remains for compatibility and is a thin wrapper with
+// identical results.
 func EstimateWorkers(spec Spec, src, dst Vertex, trials, maxTries int, seed uint64, workers int) (Complexity, error) {
-	return core.EstimateWorkers(spec, src, dst, trials, maxTries, seed, workers)
+	return NewLocal(WithWorkers(workers)).Estimate(context.Background(), spec, src, dst, trials, maxTries, seed)
 }
 
 // EstimateRequest is one Estimate submission within a batch.
@@ -308,15 +327,23 @@ type Progress = runner.Progress
 // the estimate aborts with ctx's error once ctx is done, and progress
 // (when non-nil) observes each completed trial. A run that completes is
 // bit-identical to Estimate. See core.EstimateCtx.
+//
+// Deprecated: use NewLocal(WithWorkers(workers),
+// WithProgress(progress)).Estimate. The free function remains for
+// compatibility and is a thin wrapper with identical results.
 func EstimateCtx(ctx context.Context, spec Spec, src, dst Vertex, trials, maxTries int, seed uint64, workers int, progress Progress) (Complexity, error) {
-	return core.EstimateCtx(ctx, spec, src, dst, trials, maxTries, seed, workers, progress)
+	return NewLocal(WithWorkers(workers), WithProgress(progress)).Estimate(ctx, spec, src, dst, trials, maxTries, seed)
 }
 
 // EstimateBatchCtx is EstimateBatch with cancellation and a progress
 // hook, under the same contract as EstimateCtx. See
 // core.EstimateBatchCtx.
+//
+// Deprecated: use NewLocal(WithWorkers(workers),
+// WithProgress(progress)).EstimateBatch. The free function remains for
+// compatibility and is a thin wrapper with identical results.
 func EstimateBatchCtx(ctx context.Context, reqs []EstimateRequest, workers int, progress Progress) ([]Complexity, error) {
-	return core.EstimateBatchCtx(ctx, reqs, workers, progress)
+	return NewLocal(WithWorkers(workers), WithProgress(progress)).EstimateBatch(ctx, reqs)
 }
 
 // EstimateBatch runs many estimates — a whole sweep of vertex pairs
@@ -324,8 +351,12 @@ func EstimateBatchCtx(ctx context.Context, reqs []EstimateRequest, workers int, 
 // pool stays saturated even when each request has few trials. Results
 // arrive in request order, bit-identical to estimating each request
 // separately. See core.EstimateBatch.
+//
+// Deprecated: use NewLocal(WithWorkers(workers)).EstimateBatch. The
+// free function remains for compatibility and is a thin wrapper with
+// identical results.
 func EstimateBatch(reqs []EstimateRequest, workers int) ([]Complexity, error) {
-	return core.EstimateBatch(reqs, workers)
+	return NewLocal(WithWorkers(workers)).EstimateBatch(context.Background(), reqs)
 }
 
 // ValidatePath checks that path is a genuine open path of s from src to

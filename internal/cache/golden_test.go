@@ -1,0 +1,122 @@
+// Golden-key pin for the api package spec move.
+//
+// PR 3 extracted the job spec structs from cmd/faultrouted/spec.go into
+// the public faultroute/api package. Cache keys are the SHA-256 of a
+// spec's encoding/json form, and clients may persist them, so the move
+// must not change a single key: the constants below were computed with
+// the PRE-refactor unexported structs and must hash identically from
+// the promoted api types, both via direct hashing and through the full
+// normalization path (api.Compile).
+//
+// This lives in an external test package because api imports cache.
+package cache_test
+
+import (
+	"testing"
+
+	"faultroute/api"
+	"faultroute/internal/cache"
+)
+
+// goldenEstimateHypercube returns the normalized form of the sparse
+// submission {"graph":{"family":"hypercube","n":12},"p":0.4,"trials":50}
+// — defaults filled, destination resolved to the antipode.
+func goldenEstimateHypercube() api.EstimateSpec {
+	dst := uint64(4095)
+	return api.EstimateSpec{
+		Graph:  api.GraphSpec{Family: "hypercube", N: 12},
+		P:      0.4,
+		Router: "path-follow",
+		Mode:   "local",
+		Src:    0, Dst: &dst,
+		Trials: 50, MaxTries: 100, Seed: 1,
+	}
+}
+
+func TestGoldenKeysSurviveSpecPromotion(t *testing.T) {
+	cmDst := uint64(15)
+	cases := []struct {
+		name string
+		kind string
+		spec any
+		want string
+	}{
+		{
+			name: "estimate hypercube, all defaults resolved",
+			kind: "estimate",
+			spec: goldenEstimateHypercube(),
+			want: "83e53df3a5fcbf2eff74c67f35b402da5f387cee39aad0734521d099abff0c47",
+		},
+		{
+			name: "estimate cyclematching, every field explicit",
+			kind: "estimate",
+			spec: api.EstimateSpec{
+				Graph:  api.GraphSpec{Family: "cyclematching", N: 16, Seed: 7},
+				P:      0.8,
+				Router: "bfs-local",
+				Mode:   "oracle",
+				Budget: 30,
+				Src:    2, Dst: &cmDst,
+				Trials: 8, MaxTries: 50, Seed: 9,
+			},
+			want: "9d459b7e1ef18cb23ce3af3be3a1c5950225aac287782898682222684e38d398",
+		},
+		{
+			name: "experiment",
+			kind: "experiment",
+			spec: api.ExperimentSpec{ID: "E7", Seed: 3, Scale: "full"},
+			want: "035057f81403a6c22f8ba5b6cb753c54467979ee2ef33628d8ed87abf126b482",
+		},
+		{
+			name: "percolation mesh",
+			kind: "percolation",
+			spec: api.PercolationSpec{
+				Graph:  api.GraphSpec{Family: "mesh", D: 2, Side: 24},
+				Ps:     []float64{0.3, 0.5, 0.7},
+				Trials: 10, Seed: 1,
+			},
+			want: "04d4a2e3ab4de93fd4fea152739a832ccde40b32eb6f16fc220ef8261a8985e2",
+		},
+	}
+	for _, tc := range cases {
+		got, err := cache.Key(tc.kind, tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: key changed across the spec-type move:\n got %s\nwant %s\n"+
+				"(the api spec structs are wire-frozen — field order, tags and types "+
+				"must not change)", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGoldenKeyViaNormalization(t *testing.T) {
+	// The same pin through the full path a submission takes: a sparse
+	// request normalized by api.Compile must land on the pre-refactor
+	// address, proving normalization semantics moved intact too.
+	sparse := api.Request{
+		Kind: api.KindEstimate,
+		Estimate: &api.EstimateSpec{
+			Graph:  api.GraphSpec{Family: "hypercube", N: 12},
+			P:      0.4,
+			Trials: 50,
+		},
+	}
+	key, err := api.Key(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "83e53df3a5fcbf2eff74c67f35b402da5f387cee39aad0734521d099abff0c47"
+	if key != want {
+		t.Fatalf("normalized sparse submission key changed:\n got %s\nwant %s", key, want)
+	}
+	// And the explicit form of the same job agrees, directly hashed.
+	direct, err := cache.Key("estimate", goldenEstimateHypercube())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != key {
+		t.Fatalf("normalization and direct hashing disagree: %s vs %s", key, direct)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faultroute/api"
 	"faultroute/internal/cache"
 )
 
@@ -34,27 +35,32 @@ var (
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("jobs: engine closed")
+	// ErrFinished reports a Cancel of a job already in a terminal state
+	// — nothing is left to cancel (HTTP 409).
+	ErrFinished = errors.New("jobs: job already finished")
 )
 
-// State is a job's lifecycle position.
-type State string
+// State is a job's lifecycle position — the shared wire type of the
+// serving API.
+type State = api.JobState
 
 // Job states. Queued and Running are transient; the other three are
 // terminal.
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued   = api.JobQueued
+	StateRunning  = api.JobRunning
+	StateDone     = api.JobDone
+	StateFailed   = api.JobFailed
+	StateCanceled = api.JobCanceled
 )
 
 // Task computes one job's result bytes. It must be a pure function of
 // the spec its closure captures (the engine guarantees nothing about
 // which executor runs it or when), honor ctx cancellation, and report
 // forward progress through the supplied hook — the engine surfaces those
-// counts as the job's progress.
-type Task func(ctx context.Context, progress func(delta int)) ([]byte, error)
+// counts as the job's progress. It is the api.Task contract; compiled
+// api.Plan tasks plug straight in.
+type Task = api.Task
 
 // Job tracks one coalesced submission through the engine. All methods
 // are safe for concurrent use.
@@ -99,21 +105,9 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
-// Status is a point-in-time snapshot of a job, shaped for the HTTP API.
-type Status struct {
-	ID    string `json:"id"`
-	Key   string `json:"key"`
-	State State  `json:"state"`
-	// Done counts completed work units (trials); Total is the expected
-	// number, or 0 when the job's size is not known up front.
-	Done  int64  `json:"done"`
-	Total int64  `json:"total,omitempty"`
-	Error string `json:"error,omitempty"`
-
-	Created  time.Time `json:"created,omitzero"`
-	Started  time.Time `json:"started,omitzero"`
-	Finished time.Time `json:"finished,omitzero"`
-}
+// Status is a point-in-time snapshot of a job — the api.JobStatus wire
+// type the HTTP layer serves verbatim.
+type Status = api.JobStatus
 
 // Status returns a snapshot of the job. A job canceled while still
 // queued reports StateCanceled even though no executor has touched it
@@ -261,25 +255,41 @@ func (e *Engine) Get(id string) (*Job, bool) {
 
 // Cancel cancels the job with the given ID: a queued job will be
 // discarded when dequeued, a running job has its context canceled.
-// Canceling a finished job is a no-op. A job canceled while still
-// queued releases its coalescing slot immediately, so a resubmission
-// of the same spec is fresh work rather than a hit on the dead job.
+// Canceling a job already in a terminal state — done, failed, canceled,
+// or queued with its context already canceled — fails with ErrFinished:
+// there is nothing left to stop, and the HTTP layer surfaces that as a
+// 409 rather than pretending the DELETE did work. A job canceled while
+// still queued releases its coalescing slot immediately, so a
+// resubmission of the same spec is fresh work rather than a hit on the
+// dead job.
 func (e *Engine) Cancel(id string) error {
 	e.mu.Lock()
 	j, ok := e.byID[id]
-	if ok {
-		j.mu.Lock()
-		queued := j.state == StateQueued
-		j.mu.Unlock()
-		if queued && e.inflight[j.key] == j {
-			delete(e.inflight, j.key)
-		}
-	}
-	e.mu.Unlock()
 	if !ok {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	j.mu.Lock()
+	state := j.state
+	if state == StateQueued && j.ctx.Err() != nil {
+		state = StateCanceled // canceled while queued, not yet dequeued
+	}
+	j.mu.Unlock()
+	if state.Terminal() {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q is already %s", ErrFinished, id, state)
+	}
+	if state == StateQueued && e.inflight[j.key] == j {
+		delete(e.inflight, j.key)
+	}
+	// Cancel before releasing e.mu: finish() serializes on e.mu too, so
+	// the job cannot reach a terminal state between the check above and
+	// this cancel — a nil return always means the DELETE acted on a live
+	// job. (If the task had already computed its result, finish() will
+	// still record it as done: cancellation raced completion and
+	// completion won, which the caller observes in the job's status.)
 	j.cancel()
+	e.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,213 @@
+// Package serve is the embeddable faultrouted service: the job engine,
+// the content-addressed result cache and the experiment registry wired
+// into the JSON HTTP API documented in SERVING.md.
+//
+// cmd/faultrouted is a thin flag wrapper around this package; tests and
+// programs can mount the same service in-process:
+//
+//	svc := serve.New(serve.Options{Executors: 2})
+//	defer svc.Close()
+//	srv := httptest.NewServer(svc.Handler())
+//
+// Every handler speaks the faultroute/api wire types, so the JSON the
+// service caches and serves is byte-identical to what faultroute.Local
+// computes in-process and what `routebench -format json` prints.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"faultroute/api"
+	"faultroute/internal/cache"
+	"faultroute/internal/exp"
+	"faultroute/internal/jobs"
+)
+
+// Options configures a Service. The zero value selects the daemon
+// defaults.
+type Options struct {
+	// Workers is the default per-job trial parallelism used when a
+	// submission does not set its own (<= 0 selects all cores). It never
+	// affects result bytes.
+	Workers int
+	// Executors is the number of jobs executed concurrently (<= 0
+	// selects 2).
+	Executors int
+	// QueueDepth bounds the submission queue; submissions beyond it get
+	// 503 (<= 0 selects 64).
+	QueueDepth int
+	// Store, when non-nil, seeds the service with an existing result
+	// cache (a warm store short-circuits resubmissions across restarts).
+	Store *cache.Store
+}
+
+// Service owns one engine + store pair and serves the HTTP API.
+type Service struct {
+	engine  *jobs.Engine
+	store   *cache.Store
+	workers int
+}
+
+// New starts a service. Close it when done to drain the executors.
+func New(opts Options) *Service {
+	if opts.Executors <= 0 {
+		opts.Executors = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	store := opts.Store
+	if store == nil {
+		store = cache.NewStore()
+	}
+	return &Service{
+		engine:  jobs.NewEngine(store, opts.Executors, opts.QueueDepth),
+		store:   store,
+		workers: opts.Workers,
+	}
+}
+
+// Close stops accepting submissions, cancels running jobs and waits for
+// the executors to drain.
+func (s *Service) Close() { s.engine.Close() }
+
+// Store returns the service's result cache (shared, live).
+func (s *Service) Store() *cache.Store { return s.store }
+
+// Handler returns the API surface:
+//
+//	POST   /v1/jobs          submit an estimate, experiment or percolation job
+//	GET    /v1/jobs/{id}     job state + progress counters
+//	DELETE /v1/jobs/{id}     cancel a queued or running job (409 once finished)
+//	GET    /v1/results/{key} canonical result bytes for a content address
+//	GET    /v1/experiments   the E1..E18 registry with parameter schemas
+//	GET    /v1/healthz       liveness + cache statistics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.BasePath+"/jobs", s.handleSubmit)
+	mux.HandleFunc("GET "+api.BasePath+"/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE "+api.BasePath+"/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET "+api.BasePath+"/results/{key}", s.handleResult)
+	mux.HandleFunc("GET "+api.BasePath+"/experiments", s.handleExperiments)
+	mux.HandleFunc("GET "+api.BasePath+"/healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the given status; encoding failures turn into
+// a 500 before any body byte is written.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, status = []byte(`{"error":"encoding response"}`), http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeError reports a failure as an api.ErrorBody.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit compiles the submitted request (normalization + content
+// address + task) and either coalesces onto existing work or enqueues a
+// fresh job.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req api.Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+		return
+	}
+	if req.Workers <= 0 {
+		req.Workers = s.workers
+	}
+	plan, err := api.Compile(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, fresh, err := s.engine.Submit(plan.Key, plan.Total, plan.Task)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := job.Status()
+	resp := api.SubmitResponse{
+		Job:       st,
+		Cached:    !fresh && st.State == jobs.StateDone,
+		Coalesced: !fresh && st.State != jobs.StateDone,
+	}
+	status := http.StatusOK
+	if fresh {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleJobStatus reports one job's state and progress counters.
+func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.engine.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleJobCancel cancels a queued or running job. A job already in a
+// terminal state gets 409: the DELETE changed nothing, and pretending
+// otherwise would hide from clients that the result (or failure) stands.
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.engine.Cancel(id); {
+	case errors.Is(err, jobs.ErrFinished):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	job, _ := s.engine.Get(id)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleResult serves the cached result bytes for a content address —
+// exactly the canonical encoding the job computed, so the body can be
+// byte-compared against local CLI output.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for key %q (job still running, failed, or never submitted)", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleExperiments serves the machine-readable E1..E18 registry.
+func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.ExperimentList{Experiments: exp.Infos()})
+}
+
+// handleHealth reports liveness plus cache occupancy.
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.store.Stats()
+	writeJSON(w, http.StatusOK, api.Health{
+		OK:      true,
+		Results: s.store.Len(),
+		Hits:    hits,
+		Misses:  misses,
+	})
+}

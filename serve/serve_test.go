@@ -1,4 +1,4 @@
-package main
+package serve_test
 
 import (
 	"bytes"
@@ -11,22 +11,21 @@ import (
 	"testing"
 	"time"
 
-	"faultroute/internal/cache"
+	"faultroute/api"
 	"faultroute/internal/exp"
-	"faultroute/internal/jobs"
+	"faultroute/serve"
 )
 
 // newTestServer mounts the API on an httptest server with a small
 // engine; workers pins the default per-job parallelism so tests can
 // compare runs at different counts.
-func newTestServer(t *testing.T, workers int) (*httptest.Server, *cache.Store) {
+func newTestServer(t *testing.T, workers int) *httptest.Server {
 	t.Helper()
-	store := cache.NewStore()
-	engine := jobs.NewEngine(store, 2, 16)
-	t.Cleanup(engine.Close)
-	ts := httptest.NewServer((&server{engine: engine, store: store, workers: workers}).routes())
+	svc := serve.New(serve.Options{Workers: workers, Executors: 2, QueueDepth: 16})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
-	return ts, store
+	return ts
 }
 
 // doJSON issues a request and decodes the JSON response into out (when
@@ -59,16 +58,15 @@ func doJSON(t *testing.T, method, url string, body string, out any) int {
 }
 
 // awaitJob polls GET /v1/jobs/{id} until the job is terminal.
-func awaitJob(t *testing.T, base, id string) jobs.Status {
+func awaitJob(t *testing.T, base, id string) api.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var st jobs.Status
+		var st api.JobStatus
 		if code := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, "", &st); code != http.StatusOK {
 			t.Fatalf("GET job %s: status %d", id, code)
 		}
-		switch st.State {
-		case jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+		if st.State.Terminal() {
 			return st
 		}
 		if time.Now().After(deadline) {
@@ -97,12 +95,12 @@ func fetchResult(t *testing.T, base, key string) []byte {
 }
 
 func TestSubmitPollFetchEstimate(t *testing.T) {
-	ts, _ := newTestServer(t, 2)
+	ts := newTestServer(t, 2)
 	body := `{"kind":"estimate","estimate":{
 		"graph":{"family":"hypercube","n":6},
 		"p":0.7,"trials":5,"seed":1}}`
 
-	var sub submitResponse
+	var sub api.SubmitResponse
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d, want 202", code)
 	}
@@ -113,13 +111,13 @@ func TestSubmitPollFetchEstimate(t *testing.T) {
 		t.Fatalf("total = %d, want 5", sub.Job.Total)
 	}
 	st := awaitJob(t, ts.URL, sub.Job.ID)
-	if st.State != jobs.StateDone {
+	if st.State != api.JobDone {
 		t.Fatalf("job finished %s (%s)", st.State, st.Error)
 	}
 	if st.Done != 5 {
 		t.Fatalf("progress counter = %d, want 5", st.Done)
 	}
-	var res estimateResult
+	var res api.EstimateResult
 	if err := json.Unmarshal(fetchResult(t, ts.URL, st.Key), &res); err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +127,7 @@ func TestSubmitPollFetchEstimate(t *testing.T) {
 }
 
 func TestResubmitHitsCacheAndNormalizationCoalesces(t *testing.T) {
-	ts, _ := newTestServer(t, 1)
+	ts := newTestServer(t, 1)
 	// Sparse spec: router, mode, dst, maxTries all defaulted.
 	sparse := `{"kind":"estimate","estimate":{
 		"graph":{"family":"hypercube","n":6},
@@ -141,13 +139,13 @@ func TestResubmitHitsCacheAndNormalizationCoalesces(t *testing.T) {
 		"p":0.7,"router":"path-follow","mode":"local","src":0,"dst":63,
 		"trials":4,"maxTries":100,"seed":9}}`
 
-	var first submitResponse
+	var first api.SubmitResponse
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", sparse, &first); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
 	awaitJob(t, ts.URL, first.Job.ID)
 
-	var second submitResponse
+	var second api.SubmitResponse
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", explicit, &second); code != http.StatusOK {
 		t.Fatalf("resubmit status %d, want 200", code)
 	}
@@ -166,14 +164,14 @@ func TestExperimentEndToEndByteIdentical(t *testing.T) {
 	// The acceptance path: E1 through the service at one worker count
 	// must serve bytes identical to a direct engine run at another —
 	// the same canonical encoding routebench -format json emits.
-	ts, _ := newTestServer(t, 3)
-	var sub submitResponse
+	ts := newTestServer(t, 3)
+	var sub api.SubmitResponse
 	body := `{"kind":"experiment","experiment":{"id":"E1"}}`
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
 	st := awaitJob(t, ts.URL, sub.Job.ID)
-	if st.State != jobs.StateDone {
+	if st.State != api.JobDone {
 		t.Fatalf("E1 job %s: %s", st.State, st.Error)
 	}
 	if st.Done == 0 {
@@ -198,7 +196,7 @@ func TestExperimentEndToEndByteIdentical(t *testing.T) {
 	}
 
 	// Resubmission (different worker hint) must come straight from cache.
-	var again submitResponse
+	var again api.SubmitResponse
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"kind":"experiment","workers":1,"experiment":{"id":"E1","seed":1,"scale":"quick"}}`, &again); code != http.StatusOK {
 		t.Fatalf("resubmit status %d", code)
 	}
@@ -208,11 +206,11 @@ func TestExperimentEndToEndByteIdentical(t *testing.T) {
 }
 
 func TestPercolationJob(t *testing.T) {
-	ts, _ := newTestServer(t, 2)
+	ts := newTestServer(t, 2)
 	body := `{"kind":"percolation","percolation":{
 		"graph":{"family":"mesh","side":8},
 		"ps":[0.3,0.7],"trials":3}}`
-	var sub submitResponse
+	var sub api.SubmitResponse
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
@@ -220,12 +218,10 @@ func TestPercolationJob(t *testing.T) {
 		t.Fatalf("total = %d, want 2 ps * 3 trials", sub.Job.Total)
 	}
 	st := awaitJob(t, ts.URL, sub.Job.ID)
-	if st.State != jobs.StateDone {
+	if st.State != api.JobDone {
 		t.Fatalf("job %s: %s", st.State, st.Error)
 	}
-	var res struct {
-		Rows []giantRow `json:"rows"`
-	}
+	var res api.GiantResult
 	if err := json.Unmarshal(fetchResult(t, ts.URL, st.Key), &res); err != nil {
 		t.Fatal(err)
 	}
@@ -238,10 +234,8 @@ func TestPercolationJob(t *testing.T) {
 }
 
 func TestExperimentsRegistry(t *testing.T) {
-	ts, _ := newTestServer(t, 1)
-	var reg struct {
-		Experiments []exp.Info `json:"experiments"`
-	}
+	ts := newTestServer(t, 1)
+	var reg api.ExperimentList
 	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/experiments", "", &reg); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -259,19 +253,19 @@ func TestExperimentsRegistry(t *testing.T) {
 }
 
 func TestCancelViaAPI(t *testing.T) {
-	ts, _ := newTestServer(t, 1)
+	ts := newTestServer(t, 1)
 	// A full-scale E2 is big enough to still be running when we cancel.
 	body := `{"kind":"experiment","experiment":{"id":"E2","scale":"full"}}`
-	var sub submitResponse
+	var sub api.SubmitResponse
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
-	var st jobs.Status
+	var st api.JobStatus
 	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub.Job.ID, "", &st); code != http.StatusOK {
 		t.Fatalf("cancel status %d", code)
 	}
 	final := awaitJob(t, ts.URL, sub.Job.ID)
-	if final.State != jobs.StateCanceled {
+	if final.State != api.JobCanceled {
 		t.Fatalf("state = %s, want canceled", final.State)
 	}
 	// A canceled job leaves no result behind.
@@ -285,8 +279,49 @@ func TestCancelViaAPI(t *testing.T) {
 	}
 }
 
+func TestCancelFinishedJobConflicts(t *testing.T) {
+	// DELETE on a job already in a terminal state must report 409 with a
+	// JSON error body — the cancel changed nothing — not silently succeed.
+	ts := newTestServer(t, 1)
+	body := `{"kind":"estimate","estimate":{
+		"graph":{"family":"hypercube","n":5},
+		"p":0.8,"trials":2,"seed":3}}`
+	var sub api.SubmitResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	st := awaitJob(t, ts.URL, sub.Job.ID)
+	if st.State != api.JobDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	var e api.ErrorBody
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub.Job.ID, "", &e); code != http.StatusConflict {
+		t.Fatalf("cancel of finished job: status %d, want 409", code)
+	}
+	if !strings.Contains(e.Error, "already") {
+		t.Fatalf("409 body %q does not explain the conflict", e.Error)
+	}
+	// The result must still be served after the rejected cancel.
+	if data := fetchResult(t, ts.URL, st.Key); len(data) == 0 {
+		t.Fatal("result vanished after rejected cancel")
+	}
+	// Canceling a canceled job is a conflict too.
+	slow := `{"kind":"experiment","experiment":{"id":"E2","scale":"full"}}`
+	var sub2 api.SubmitResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", slow, &sub2); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub2.Job.ID, "", nil); code != http.StatusOK {
+		t.Fatalf("first cancel status %d", code)
+	}
+	awaitJob(t, ts.URL, sub2.Job.ID)
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub2.Job.ID, "", &e); code != http.StatusConflict {
+		t.Fatalf("second cancel: status %d, want 409", code)
+	}
+}
+
 func TestBadSubmissions(t *testing.T) {
-	ts, _ := newTestServer(t, 1)
+	ts := newTestServer(t, 1)
 	cases := []struct {
 		name, body string
 	}{
@@ -305,9 +340,7 @@ func TestBadSubmissions(t *testing.T) {
 		{"empty ps", `{"kind":"percolation","percolation":{"graph":{"family":"ring","n":10},"trials":3}}`},
 	}
 	for _, tc := range cases {
-		var e struct {
-			Error string `json:"error"`
-		}
+		var e api.ErrorBody
 		code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", tc.body, &e)
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", tc.name, code)
@@ -326,11 +359,8 @@ func TestBadSubmissions(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	ts, _ := newTestServer(t, 1)
-	var h struct {
-		OK      bool `json:"ok"`
-		Results int  `json:"results"`
-	}
+	ts := newTestServer(t, 1)
+	var h api.Health
 	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", "", &h); code != http.StatusOK || !h.OK {
 		t.Fatalf("healthz = %+v (status %d)", h, code)
 	}
@@ -344,13 +374,13 @@ func TestEstimateWorkerCountInvariance(t *testing.T) {
 		"p":0.8,"trials":6,"seed":4}}`
 	var results [][]byte
 	for _, workers := range []int{1, 4} {
-		ts, _ := newTestServer(t, workers)
-		var sub submitResponse
+		ts := newTestServer(t, workers)
+		var sub api.SubmitResponse
 		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec, &sub); code != http.StatusAccepted {
 			t.Fatalf("workers=%d: submit status %d", workers, code)
 		}
 		st := awaitJob(t, ts.URL, sub.Job.ID)
-		if st.State != jobs.StateDone {
+		if st.State != api.JobDone {
 			t.Fatalf("workers=%d: job %s (%s)", workers, st.State, st.Error)
 		}
 		results = append(results, fetchResult(t, ts.URL, st.Key))
@@ -361,16 +391,15 @@ func TestEstimateWorkerCountInvariance(t *testing.T) {
 }
 
 func TestQueueFullGets503(t *testing.T) {
-	store := cache.NewStore()
-	engine := jobs.NewEngine(store, 1, 1)
-	t.Cleanup(engine.Close)
-	ts := httptest.NewServer((&server{engine: engine, store: store, workers: 1}).routes())
+	svc := serve.New(serve.Options{Workers: 1, Executors: 1, QueueDepth: 1})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
 
 	// Saturate: executor busy + queue of 1. Full-scale E2 runs long
 	// enough to hold the executor for the duration of the test.
 	submit := func(id string) int {
-		var sub submitResponse
+		var sub api.SubmitResponse
 		return doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
 			fmt.Sprintf(`{"kind":"experiment","experiment":{"id":"%s","scale":"full"}}`, id), &sub)
 	}
