@@ -21,23 +21,31 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"faultroute/api"
+	"faultroute/internal/rng"
 )
 
 // Client speaks to one faultrouted daemon. Construct with New; a
 // Client is immutable after construction and safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	poll    time.Duration
-	retries int
-	backoff time.Duration
+	base       string
+	hc         *http.Client
+	poll       time.Duration
+	retries    int
+	backoff    time.Duration
+	jitterSalt uint64
 }
+
+// clientSeq makes each Client's jitter stream distinct within a
+// process; see backoffWait.
+var clientSeq atomic.Uint64
 
 // Option configures a Client.
 type Option func(*Client)
@@ -52,8 +60,9 @@ func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll 
 
 // WithRetry sets the transient-failure policy: up to retries extra
 // attempts with exponential backoff starting at base (defaults: 3 and
-// 100ms). Retried calls are all idempotent — submissions coalesce by
-// content address — so retrying is always safe.
+// 100ms), capped at 30s and spread by deterministic jitter — see
+// backoffWait. Retried calls are all idempotent — submissions coalesce
+// by content address — so retrying is always safe.
 func WithRetry(retries int, base time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = retries, base }
 }
@@ -71,6 +80,9 @@ func New(base string, opts ...Option) *Client {
 	for _, opt := range opts {
 		opt(c)
 	}
+	h := fnv.New64a()
+	io.WriteString(h, c.base)
+	c.jitterSalt = rng.Combine(h.Sum64(), clientSeq.Add(1))
 	return c
 }
 
@@ -219,6 +231,43 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 	return out, err
 }
 
+// maxBackoff caps the exponential retry backoff. Without a ceiling the
+// doubling left-shift overflows time.Duration after ~40 attempts,
+// turning the wait negative — and time.After(negative) fires
+// immediately, degrading backoff into a hot retry loop against an
+// already-unhealthy daemon.
+const maxBackoff = 30 * time.Second
+
+// backoffWait returns the pause before retry `attempt` (1-based):
+// exponential growth from the configured base, capped at maxBackoff,
+// jittered into [wait/2, wait]. The jitter hashes (attempt, this
+// client's salt) — the salt mixes the base URL with a per-process
+// construction counter, so concurrent clients in a process spread
+// their retries apart rather than hammering the daemon in lockstep.
+// It is deterministic-safe by design: no clock or PRNG draw, so retry
+// timing is reproducible for a given construction order and can never
+// perturb results (every retried call is idempotent). The deliberate
+// tradeoff: identically-constructed clients in separate processes
+// share a schedule; full cross-process decorrelation would need real
+// entropy, which reproducibility rules out here.
+func (c *Client) backoffWait(attempt int) time.Duration {
+	wait := c.backoff
+	if wait <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt && wait < maxBackoff; i++ {
+		wait <<= 1
+		if wait <= 0 { // overflow guard for huge configured bases
+			wait = maxBackoff
+		}
+	}
+	if wait > maxBackoff {
+		wait = maxBackoff
+	}
+	half := uint64(wait) / 2
+	return time.Duration(half + rng.Combine(uint64(attempt), c.jitterSalt)%(half+1))
+}
+
 // call issues one API request with the retry policy and decodes the
 // response. Raw result bytes are preserved exactly: when out is a
 // *json.RawMessage the body is copied verbatim, never re-encoded.
@@ -226,11 +275,10 @@ func (c *Client) call(ctx context.Context, method, path string, payload []byte, 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			wait := c.backoff << (attempt - 1)
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(wait):
+			case <-time.After(c.backoffWait(attempt)):
 			}
 		}
 		retriable, err := c.once(ctx, method, path, payload, out)
@@ -266,7 +314,10 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return true, err
+		// Mirror the transport-error path: a body cut off because the
+		// caller's context was canceled mid-read is final, not a
+		// transient daemon failure to retry against.
+		return ctx.Err() == nil, err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var eb api.ErrorBody

@@ -102,12 +102,20 @@ func Run(spec Spec, src, dst graph.Vertex, seed uint64) (Outcome, error) {
 		return Outcome{}, err
 	}
 	s := percolation.New(spec.Graph, spec.P, seed)
+	// Probers (and, through their arena, the routers) draw all trial
+	// bookkeeping from the shared scratch pool; releasing on return is
+	// what lets each worker reuse one warm set of tables across the
+	// thousands of trials of an Estimate.
 	var pr probe.Prober
 	switch spec.Mode {
 	case ModeLocal:
-		pr = probe.NewLocal(s, src, spec.Budget)
+		l := probe.NewLocal(s, src, spec.Budget)
+		defer l.Release()
+		pr = l
 	case ModeOracle:
-		pr = probe.NewOracle(s, spec.Budget)
+		o := probe.NewOracle(s, spec.Budget)
+		defer o.Release()
+		pr = o
 	default:
 		return Outcome{}, fmt.Errorf("core: unknown mode %d", spec.Mode)
 	}
@@ -169,12 +177,16 @@ func EstimateTrial(spec Spec, src, dst graph.Vertex, trial, maxTries int, seed u
 	var res TrialResult
 	for try := 0; try < maxTries; try++ {
 		sampleSeed := rng.Combine(trialSeed, uint64(try))
-		comps, err := percolation.Label(percolation.New(spec.Graph, spec.P, sampleSeed))
+		// Conditioning uses the pooled early-exit cluster search: it
+		// answers {src ~ dst} exactly (identical accept/reject decisions
+		// to full component labeling) while touching only src's cluster
+		// and allocating nothing in steady state.
+		conn, err := percolation.Connected(percolation.New(spec.Graph, spec.P, sampleSeed), src, dst)
 		if err != nil {
 			res.Err = err
 			return res
 		}
-		if !comps.Connected(src, dst) {
+		if !conn {
 			res.Rejected++
 			continue
 		}
@@ -230,7 +242,7 @@ func MergeTrials(results []TrialResult) (Complexity, error) {
 
 // Estimate measures the routing complexity of spec between src and dst
 // over `trials` percolation samples conditioned on {src ~ dst}, exactly
-// as Definition 2 prescribes. Conditioning uses exact component labeling
+// as Definition 2 prescribes. Conditioning uses an exact cluster search
 // and therefore requires a finite (labelable) graph; maxTries bounds the
 // rejection sampling per trial.
 //

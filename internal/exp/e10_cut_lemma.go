@@ -69,11 +69,12 @@ func runE10(cfg Config) (*Table, error) {
 		}
 		results, err := parTrials(cfg, routeTrials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(100+di), uint64(trial))
-			s, _, _, err := connectedSample(g, p, g.RootA(), g.RootB(), seed, 400)
+			s, _, err := connectedSample(g, p, g.RootA(), g.RootB(), seed, 400)
 			if err != nil {
 				return trialResult{}, nil
 			}
 			pr := probe.NewLocal(s, g.RootA(), 0)
+			defer pr.Release()
 			if _, err := route.NewBFSLocal().Route(pr, g.RootA(), g.RootB()); err != nil {
 				return trialResult{}, fmt.Errorf("E10: depth %d: %w", d, err)
 			}

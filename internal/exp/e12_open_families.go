@@ -70,6 +70,7 @@ func runE12(cfg Config) (*Table, error) {
 						continue
 					}
 					pr := probe.NewLocal(s, u, 0)
+					defer pr.Release()
 					path, err := route.NewBFSLocal().Route(pr, u, v)
 					if errors.Is(err, route.ErrNoPath) {
 						return trialResult{}, fmt.Errorf("E12: giant pair disconnected (bug): %w", err)

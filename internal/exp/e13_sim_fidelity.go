@@ -58,6 +58,7 @@ func runE13(cfg Config) (*Table, error) {
 				return trialResult{}, fmt.Errorf("E13 %s: %w", in.name, err)
 			}
 			pr := probe.NewLocal(s, in.src, 0)
+			defer pr.Release()
 			_, rerr := route.NewBFSLocal().Route(pr, in.src, in.dst)
 			if rerr != nil && !errors.Is(rerr, route.ErrNoPath) {
 				return trialResult{}, rerr

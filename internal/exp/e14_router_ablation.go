@@ -50,7 +50,7 @@ func runE14(cfg Config) (*Table, error) {
 			seed := cfg.trialSeed(uint64(ai), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
-			s, _, _, err := connectedSample(g, p, u, v, seed, 200)
+			s, _, err := connectedSample(g, p, u, v, seed, 200)
 			if errors.Is(err, ErrConditioning) {
 				return trialResult{}, nil
 			}
@@ -60,6 +60,7 @@ func runE14(cfg Config) (*Table, error) {
 			out := trialResult{probes: make([]float64, len(routers)), ok: true}
 			for ri, r := range routers {
 				pr := probe.NewLocal(s, u, 0)
+				defer pr.Release()
 				if _, err := r.Route(pr, u, v); err != nil {
 					return trialResult{}, fmt.Errorf("E14: %s at alpha=%.2f: %w", r.Name(), alpha, err)
 				}

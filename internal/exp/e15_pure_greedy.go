@@ -50,7 +50,7 @@ func runE15(cfg Config) (*Table, error) {
 			seed := cfg.trialSeed(uint64(ai), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
-			s, _, _, err := connectedSample(g, p, u, v, seed, 100)
+			s, _, err := connectedSample(g, p, u, v, seed, 100)
 			if errors.Is(err, ErrConditioning) {
 				return trialResult{}, nil
 			}
@@ -59,6 +59,7 @@ func runE15(cfg Config) (*Table, error) {
 			}
 			out := trialResult{ok: true}
 			prG := probe.NewLocal(s, u, 0)
+			defer prG.Release()
 			if path, gerr := route.NewPureGreedy().Route(prG, u, v); gerr == nil {
 				out.greedyOK = true
 				out.hops = float64(path.Len())
@@ -66,6 +67,7 @@ func runE15(cfg Config) (*Table, error) {
 				return trialResult{}, gerr
 			}
 			prR := probe.NewLocal(s, u, 0)
+			defer prR.Release()
 			if _, rerr := route.NewGreedyWithRescue(rescueBudget).Route(prR, u, v); rerr == nil {
 				out.rescueOK = true
 			} else if !errors.Is(rerr, route.ErrStuck) && !errors.Is(rerr, route.ErrNoPath) {

@@ -50,7 +50,7 @@ func runE17(cfg Config) (*Table, error) {
 			seed := cfg.trialSeed(uint64(ni), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
-			s, _, _, err := connectedSample(g, p, u, v, seed, 400)
+			s, _, err := connectedSample(g, p, u, v, seed, 400)
 			if errors.Is(err, ErrConditioning) {
 				return trialResult{}, nil
 			}
@@ -58,10 +58,12 @@ func runE17(cfg Config) (*Table, error) {
 				return trialResult{}, err
 			}
 			prO := probe.NewOracle(s, 0)
+			defer prO.Release()
 			if _, err := route.NewBidirectionalBFS().Route(prO, u, v); err != nil {
 				return trialResult{}, fmt.Errorf("E17: oracle n=%d: %w", n, err)
 			}
 			prL := probe.NewLocal(s, u, 0)
+			defer prL.Release()
 			if _, err := route.NewBFSLocal().Route(prL, u, v); err != nil {
 				return trialResult{}, fmt.Errorf("E17: local n=%d: %w", n, err)
 			}

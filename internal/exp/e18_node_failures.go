@@ -73,6 +73,7 @@ func runE18(cfg Config) (*Table, error) {
 					return trialResult{}, nil
 				}
 				pr := probe.NewLocal(sample, u, 0)
+				defer pr.Release()
 				if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
 					return trialResult{}, fmt.Errorf("E18: mode %d alpha %.2f: %w", mode, alpha, err)
 				}

@@ -54,7 +54,7 @@ func runE1(cfg Config) (*Table, error) {
 			seed := cfg.trialSeed(uint64(ai), uint64(trial))
 			u := graph.Vertex(0)
 			v := g.Antipode(u)
-			s, _, _, err := connectedSample(g, p, u, v, seed, 200)
+			s, _, err := connectedSample(g, p, u, v, seed, 200)
 			if errors.Is(err, ErrConditioning) {
 				return trialResult{}, nil // pair essentially never connected at this p
 			}
@@ -62,6 +62,7 @@ func runE1(cfg Config) (*Table, error) {
 				return trialResult{}, err
 			}
 			pr := probe.NewLocal(s, u, 0)
+			defer pr.Release()
 			if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
 				return trialResult{}, fmt.Errorf("E1: alpha=%.2f: %w", alpha, err)
 			}

@@ -47,7 +47,7 @@ func runE2(cfg Config) (*Table, error) {
 				seed := cfg.trialSeed(uint64(ai*100+ni), uint64(trial))
 				u := graph.Vertex(0)
 				v := g.Antipode(u)
-				s, _, _, err := connectedSample(g, p, u, v, seed, 100)
+				s, _, err := connectedSample(g, p, u, v, seed, 100)
 				if errors.Is(err, ErrConditioning) {
 					return trialResult{}, nil
 				}
@@ -55,6 +55,7 @@ func runE2(cfg Config) (*Table, error) {
 					return trialResult{}, err
 				}
 				pr := probe.NewLocal(s, u, 0)
+				defer pr.Release()
 				if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
 					return trialResult{}, fmt.Errorf("E2: n=%d alpha=%.2f: %w", n, alpha, err)
 				}

@@ -91,7 +91,7 @@ func runE3(cfg Config) (*Table, error) {
 				}
 				results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 					seed := cfg.trialSeed(cellID, uint64(trial))
-					s, _, _, err := connectedSample(g, p, u, v, seed, 200)
+					s, _, err := connectedSample(g, p, u, v, seed, 200)
 					if errors.Is(err, ErrConditioning) {
 						return trialResult{}, nil
 					}
@@ -99,6 +99,7 @@ func runE3(cfg Config) (*Table, error) {
 						return trialResult{}, err
 					}
 					pr := probe.NewLocal(s, u, 0)
+					defer pr.Release()
 					if _, err := route.NewPathFollow().Route(pr, u, v); err != nil {
 						return trialResult{}, fmt.Errorf("E3: d=%d p=%.2f n=%d: %w", sw.d, p, n, err)
 					}

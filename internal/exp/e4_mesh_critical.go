@@ -44,7 +44,7 @@ func runE4(cfg Config) (*Table, error) {
 		}
 		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(pi), uint64(trial))
-			s, _, rejected, err := connectedSample(g, p, u, v, seed, 300)
+			s, rejected, err := connectedSample(g, p, u, v, seed, 300)
 			res := trialResult{attempted: rejected + 1}
 			if errors.Is(err, ErrConditioning) {
 				return res, nil
@@ -54,6 +54,7 @@ func runE4(cfg Config) (*Table, error) {
 			}
 			res.ok = true
 			pr := probe.NewLocal(s, u, 0)
+			defer pr.Release()
 			_, segs, err := route.NewPathFollow().RouteWithStats(pr, u, v)
 			if err != nil {
 				return trialResult{}, fmt.Errorf("E4: p=%.2f: %w", p, err)

@@ -65,10 +65,12 @@ func runE6(cfg Config) (*Table, error) {
 					return trialResult{}, nil
 				}
 				prO := probe.NewOracle(sample, 0)
+				defer prO.Release()
 				if _, err := route.NewDoubleTreeOracle().Route(prO, g.RootA(), g.RootB()); err != nil {
 					return trialResult{}, fmt.Errorf("E6: oracle at depth %d: %w", d, err)
 				}
 				prL := probe.NewLocal(sample, g.RootA(), 0)
+				defer prL.Release()
 				if _, err := route.NewBFSLocal().Route(prL, g.RootA(), g.RootB()); err != nil {
 					return trialResult{}, fmt.Errorf("E6: local at depth %d: %w", d, err)
 				}

@@ -44,7 +44,7 @@ func runE7(cfg Config) (*Table, error) {
 		}
 		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ni), uint64(trial))
-			s, _, _, err := connectedSample(g, p, u, v, seed, 50)
+			s, _, err := connectedSample(g, p, u, v, seed, 50)
 			if errors.Is(err, ErrConditioning) {
 				return trialResult{}, nil
 			}
@@ -52,6 +52,7 @@ func runE7(cfg Config) (*Table, error) {
 				return trialResult{}, err
 			}
 			pr := probe.NewLocal(s, u, 0)
+			defer pr.Release()
 			if _, err := route.NewGnpLocal(seed).Route(pr, u, v); err != nil {
 				return trialResult{}, fmt.Errorf("E7: n=%d: %w", n, err)
 			}

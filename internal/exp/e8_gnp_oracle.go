@@ -47,7 +47,7 @@ func runE8(cfg Config) (*Table, error) {
 		}
 		results, err := parTrials(cfg, trials, func(trial int) (trialResult, error) {
 			seed := cfg.trialSeed(uint64(ni), uint64(trial))
-			s, _, _, err := connectedSample(g, p, u, v, seed, 50)
+			s, _, err := connectedSample(g, p, u, v, seed, 50)
 			if errors.Is(err, ErrConditioning) {
 				return trialResult{}, nil
 			}
@@ -55,6 +55,7 @@ func runE8(cfg Config) (*Table, error) {
 				return trialResult{}, err
 			}
 			prO := probe.NewOracle(s, 0)
+			defer prO.Release()
 			if _, err := route.NewGnpBidirectional(seed).Route(prO, u, v); err != nil {
 				return trialResult{}, fmt.Errorf("E8: n=%d: %w", n, err)
 			}
@@ -63,6 +64,7 @@ func runE8(cfg Config) (*Table, error) {
 			// subset of trials to keep the sweep affordable.
 			if trial < trials/2+1 {
 				prL := probe.NewLocal(s, u, 0)
+				defer prL.Release()
 				if _, err := route.NewGnpLocal(seed).Route(prL, u, v); err != nil {
 					return trialResult{}, fmt.Errorf("E8: local n=%d: %w", n, err)
 				}

@@ -32,25 +32,15 @@ func conditionedTrial(g graph.Graph, p float64, seed uint64, maxTries int,
 	return percolation.Sample{}, maxTries, ErrConditioning
 }
 
-// connectedSample draws a sample in which u ~ v (checked by exact
-// labeling) — the conditioning of Definition 2.
-func connectedSample(g graph.Graph, p float64, u, v graph.Vertex, seed uint64, maxTries int) (percolation.Sample, *percolation.Components, int, error) {
-	var comps *percolation.Components
-	s, rejected, err := conditionedTrial(g, p, seed, maxTries, func(s percolation.Sample) (bool, error) {
-		c, err := percolation.Label(s)
-		if err != nil {
-			return false, err
-		}
-		if c.Connected(u, v) {
-			comps = c
-			return true, nil
-		}
-		return false, nil
+// connectedSample draws a sample in which u ~ v — the conditioning of
+// Definition 2. The check is percolation.Connected's exact early-exit
+// cluster search over pooled scratch: identical accept/reject decisions
+// to full component labeling without paying for every edge of every
+// rejected sample.
+func connectedSample(g graph.Graph, p float64, u, v graph.Vertex, seed uint64, maxTries int) (percolation.Sample, int, error) {
+	return conditionedTrial(g, p, seed, maxTries, func(s percolation.Sample) (bool, error) {
+		return percolation.Connected(s, u, v)
 	})
-	if err != nil {
-		return percolation.Sample{}, nil, rejected, err
-	}
-	return s, comps, rejected, nil
 }
 
 // giantPair samples a uniformly random pair of distinct vertices of the

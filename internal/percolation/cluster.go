@@ -2,7 +2,9 @@ package percolation
 
 import (
 	"errors"
+	"fmt"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 )
 
@@ -14,39 +16,62 @@ var ErrVisitBudget = errors.New("percolation: cluster exploration exceeded visit
 // by breadth-first search over open edges. It works on samples of graphs
 // far too large to label exactly (the exploration touches only the
 // cluster itself plus its closed boundary).
+//
+// Its distance table is a flat epoch-stamped structure rather than a
+// map, so a Cluster can be reused across trials with ExploreInto: the
+// table resets in O(1) and its backing arrays are recycled, which keeps
+// sweep loops allocation-free after the first trial.
 type Cluster struct {
 	// Start is the exploration origin.
 	Start graph.Vertex
-	// Vertices holds every vertex of the cluster in BFS order.
+	// Vertices holds every vertex of the cluster in BFS order. The
+	// slice doubles as the BFS queue, so it is exactly the visit order.
 	Vertices []graph.Vertex
-	// Dist maps each cluster vertex to its open-path distance from Start.
-	Dist map[graph.Vertex]int
 	// EdgesProbed counts the distinct base edges whose state the
 	// exploration examined (open or closed).
 	EdgesProbed uint64
 	// Exhausted is true when the whole cluster was enumerated; false when
 	// the visit budget stopped the search early.
 	Exhausted bool
+
+	// dist maps each cluster vertex to its open-path distance from
+	// Start (stored through arena.VMap's vertex-valued slots).
+	dist arena.VMap
 }
 
 // Explore runs a BFS from start over open edges, visiting at most
 // maxVertices cluster vertices (0 means unlimited). It never errors on a
 // budget stop; check Exhausted.
 func Explore(s Sample, start graph.Vertex, maxVertices uint64) *Cluster {
-	c := &Cluster{
-		Start: start,
-		Dist:  map[graph.Vertex]int{start: 0},
-	}
-	c.Vertices = append(c.Vertices, start)
-	queue := []graph.Vertex{start}
+	c := &Cluster{}
+	ExploreInto(c, s, start, maxVertices)
+	return c
+}
+
+// ExploreInto is Explore reusing c's tables and buffers: resetting them
+// is O(1) (an epoch bump), so trial loops exploring many samples pay
+// the table allocations once. The previous contents of c are discarded.
+func ExploreInto(c *Cluster, s Sample, start graph.Vertex, maxVertices uint64) {
 	g := s.Graph()
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	c.Start = start
+	c.Vertices = c.Vertices[:0]
+	c.EdgesProbed = 0
+	c.Exhausted = false
+	// Sparse always: exploration is the output-sensitive tool for
+	// graphs whose clusters are tiny next to Order(), so the distance
+	// table must be sized to the cluster (like the map it replaced),
+	// never to the graph.
+	c.dist.ResetSparse()
+
+	c.dist.Set(start, 0)
+	c.Vertices = append(c.Vertices, start)
+	for head := 0; head < len(c.Vertices); head++ {
+		v := c.Vertices[head]
+		dv, _ := c.dist.Get(v)
 		d := g.Degree(v)
 		for i := 0; i < d; i++ {
 			w := g.Neighbor(v, i)
-			if _, seen := c.Dist[w]; seen {
+			if c.dist.Has(w) {
 				continue
 			}
 			id, ok := g.EdgeID(v, w)
@@ -57,25 +82,27 @@ func Explore(s Sample, start graph.Vertex, maxVertices uint64) *Cluster {
 			if !s.OpenEdgeID(v, w, id) {
 				continue
 			}
-			c.Dist[w] = c.Dist[v] + 1
+			c.dist.Set(w, dv+1)
 			c.Vertices = append(c.Vertices, w)
 			if maxVertices > 0 && uint64(len(c.Vertices)) >= maxVertices {
-				return c // Exhausted stays false
+				return // Exhausted stays false
 			}
-			queue = append(queue, w)
 		}
 	}
 	c.Exhausted = true
-	return c
 }
 
 // Size returns the number of cluster vertices found.
 func (c *Cluster) Size() uint64 { return uint64(len(c.Vertices)) }
 
 // Contains reports whether v was reached.
-func (c *Cluster) Contains(v graph.Vertex) bool {
-	_, ok := c.Dist[v]
-	return ok
+func (c *Cluster) Contains(v graph.Vertex) bool { return c.dist.Has(v) }
+
+// Dist returns the open-path distance from Start to v, or ok=false if v
+// was not reached.
+func (c *Cluster) Dist(v graph.Vertex) (dist int, ok bool) {
+	d, ok := c.dist.Get(v)
+	return int(d), ok
 }
 
 // ConnectedLazy reports whether u and v are in the same open component by
@@ -95,11 +122,67 @@ func ConnectedLazy(s Sample, u, v graph.Vertex, maxVertices uint64) (connected, 
 // decidedness.
 func PercolationDist(s Sample, u, v graph.Vertex, maxVertices uint64) (dist int, decided bool) {
 	c := Explore(s, u, maxVertices)
-	if d, ok := c.Dist[v]; ok {
+	if d, ok := c.Dist(v); ok {
 		return d, true
 	}
 	if c.Exhausted {
 		return -1, true
 	}
 	return -1, false
+}
+
+// Connected reports exactly whether u and v lie in the same open
+// component, by BFS from u over open edges with an early exit at v. All
+// scratch comes from the pooled trial arena, so conditioning loops
+// (core.EstimateTrial rejection-samples this event thousands of times)
+// allocate nothing in steady state; the search is also output-sensitive
+// — it touches only u's cluster and its closed boundary, where exact
+// labeling always pays for every edge of the graph.
+//
+// Graphs beyond the exact-labeling cap are rejected with the same error
+// as Label, keeping Estimate's behavior on huge implicit graphs
+// unchanged.
+func Connected(s Sample, u, v graph.Vertex) (bool, error) {
+	g := s.Graph()
+	n := g.Order()
+	if n > maxLabelOrder {
+		return false, fmt.Errorf("percolation: graph %s too large to label exactly (%d vertices)",
+			g.Name(), n)
+	}
+	if u == v {
+		return true, nil
+	}
+	a := arena.Acquire()
+	defer a.Release()
+	seen := a.Set(n)
+	queue := a.Vertices()
+	defer func() {
+		a.PutVertices(queue)
+		a.PutSet(seen)
+	}()
+	seen.Add(u)
+	queue = append(queue, u)
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		d := g.Degree(x)
+		for i := 0; i < d; i++ {
+			w := g.Neighbor(x, i)
+			if seen.Has(w) {
+				continue
+			}
+			id, ok := g.EdgeID(x, w)
+			if !ok {
+				continue
+			}
+			if !s.OpenEdgeID(x, w, id) {
+				continue
+			}
+			if w == v {
+				return true, nil
+			}
+			seen.Add(w)
+			queue = append(queue, w)
+		}
+	}
+	return false, nil
 }

@@ -134,9 +134,41 @@ func TestExploreDistancesAreOpenPathDistances(t *testing.T) {
 	g := graph.MustRing(20)
 	s := New(g, 1, 1) // all edges open
 	c := Explore(s, 0, 0)
-	for v, d := range c.Dist {
+	for _, v := range c.Vertices {
+		d, ok := c.Dist(v)
+		if !ok {
+			t.Fatalf("cluster vertex %d has no distance", v)
+		}
 		if want := g.Dist(0, v); d != want {
 			t.Fatalf("dist to %d = %d, want %d", v, d, want)
+		}
+	}
+}
+
+func TestExploreIntoReuseMatchesFreshExplore(t *testing.T) {
+	// One Cluster recycled across many samples (the O(1) epoch reset)
+	// must report exactly what a fresh exploration of each sample does.
+	g := graph.MustMesh(2, 12)
+	var reused Cluster
+	for seed := uint64(0); seed < 20; seed++ {
+		s := New(g, 0.45, seed)
+		ExploreInto(&reused, s, 0, 0)
+		fresh := Explore(s, 0, 0)
+		if reused.Size() != fresh.Size() || reused.EdgesProbed != fresh.EdgesProbed ||
+			reused.Exhausted != fresh.Exhausted {
+			t.Fatalf("seed %d: reused (size=%d edges=%d exhausted=%v) != fresh (size=%d edges=%d exhausted=%v)",
+				seed, reused.Size(), reused.EdgesProbed, reused.Exhausted,
+				fresh.Size(), fresh.EdgesProbed, fresh.Exhausted)
+		}
+		for i, v := range fresh.Vertices {
+			if reused.Vertices[i] != v {
+				t.Fatalf("seed %d: BFS order diverges at %d", seed, i)
+			}
+			rd, rok := reused.Dist(v)
+			fd, fok := fresh.Dist(v)
+			if !rok || !fok || rd != fd {
+				t.Fatalf("seed %d: dist to %d: reused (%d,%v) fresh (%d,%v)", seed, v, rd, rok, fd, fok)
+			}
 		}
 	}
 }

@@ -17,4 +17,8 @@
 //
 // Probers are mutable per-run state: the trial engine creates a fresh
 // prober for every routing run, so concurrent trials never share one.
+// Their memo and reached-set tables are epoch-stamped arena structures
+// (internal/arena) rather than maps; Release recycles them through the
+// shared pool so steady-state trial loops allocate nothing, and routers
+// borrow their search tables from the same arena via ArenaProvider.
 package probe

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 	"faultroute/internal/percolation"
 )
@@ -39,16 +40,28 @@ type Prober interface {
 	Budget() int
 }
 
-// counter is the shared memoizing, budgeted probe core.
+// ArenaProvider is the optional interface of probers that carry a
+// per-trial scratch arena. Routers borrow their search tables (parent
+// maps, queues) from it so one trial's entire bookkeeping is recycled
+// together; probers without one make routers fall back to a
+// pool-acquired arena of their own.
+type ArenaProvider interface {
+	Arena() *arena.Arena
+}
+
+// counter is the shared memoizing, budgeted probe core. Its memo is
+// borrowed from a pooled arena; Release recycles it for the next trial.
 type counter struct {
 	sample percolation.Sample
-	known  map[uint64]bool // edge ID -> open?
-	budget int             // 0 = unlimited
-	calls  int             // raw Probe invocations, repeats included
+	known  *arena.EdgeMemo // edge ID -> open?
+	arena  *arena.Arena
+	budget int // 0 = unlimited
+	calls  int // raw Probe invocations, repeats included
 }
 
 func newCounter(s percolation.Sample, budget int) counter {
-	return counter{sample: s, known: make(map[uint64]bool), budget: budget}
+	a := arena.Acquire()
+	return counter{sample: s, known: a.Memo(), arena: a, budget: budget}
 }
 
 // probeEdge reveals the edge {u, v} with canonical id, charging the
@@ -56,19 +69,19 @@ func newCounter(s percolation.Sample, budget int) counter {
 // site+bond percolation edge state depends on endpoint liveness.
 func (c *counter) probeEdge(u, v graph.Vertex, id uint64) (bool, error) {
 	c.calls++
-	if open, seen := c.known[id]; seen {
+	if open, seen := c.known.Lookup(id); seen {
 		return open, nil
 	}
-	if c.budget > 0 && len(c.known) >= c.budget {
+	if c.budget > 0 && c.known.Len() >= c.budget {
 		return false, ErrBudget
 	}
 	open := c.sample.OpenEdgeID(u, v, id)
-	c.known[id] = open
+	c.known.Store(id, open)
 	return open, nil
 }
 
 // Count returns distinct probed edges.
-func (c *counter) Count() int { return len(c.known) }
+func (c *counter) Count() int { return c.known.Len() }
 
 // Calls returns raw Probe invocations including memoized repeats.
 func (c *counter) Calls() int { return c.calls }
@@ -81,8 +94,23 @@ func (c *counter) Graph() graph.Graph { return c.sample.Graph() }
 
 // Known reports the memoized state of an edge without probing it.
 func (c *counter) Known(id uint64) (open, seen bool) {
-	open, seen = c.known[id]
-	return open, seen
+	return c.known.Lookup(id)
+}
+
+// Arena implements ArenaProvider: routers share the prober's per-trial
+// arena so all trial state is recycled together.
+func (c *counter) Arena() *arena.Arena { return c.arena }
+
+// release returns the memo and the arena to the shared pool. The
+// counter must not be used afterwards.
+func (c *counter) release() {
+	if c.arena == nil {
+		return
+	}
+	c.arena.PutMemo(c.known)
+	c.known = nil
+	c.arena.Release()
+	c.arena = nil
 }
 
 // Oracle is a prober that may examine any edge of the base graph —
@@ -96,6 +124,12 @@ type Oracle struct {
 func NewOracle(s percolation.Sample, budget int) *Oracle {
 	return &Oracle{counter: newCounter(s, budget)}
 }
+
+// Release recycles the prober's pooled trial state. Optional — skipped
+// probers are simply garbage collected — but trial loops that release
+// reuse one warm memo across thousands of runs. The prober must not be
+// used after Release.
+func (o *Oracle) Release() { o.release() }
 
 // Probe implements Prober.
 func (o *Oracle) Probe(u, v graph.Vertex) (bool, error) {
@@ -112,7 +146,7 @@ func (o *Oracle) Probe(u, v graph.Vertex) (bool, error) {
 type Local struct {
 	counter
 	source  graph.Vertex
-	reached map[graph.Vertex]bool
+	reached *arena.VSet
 }
 
 // NewLocal returns a local prober rooted at source with the given
@@ -124,11 +158,20 @@ type Local struct {
 // reached — the reached set is exactly the open cluster of the source
 // within the probed subgraph.
 func NewLocal(s percolation.Sample, source graph.Vertex, budget int) *Local {
-	return &Local{
-		counter: newCounter(s, budget),
-		source:  source,
-		reached: map[graph.Vertex]bool{source: true},
+	l := &Local{counter: newCounter(s, budget), source: source}
+	l.reached = l.arena.Set(s.Graph().Order())
+	l.reached.Add(source)
+	return l
+}
+
+// Release recycles the prober's pooled trial state, under the Oracle
+// Release contract.
+func (l *Local) Release() {
+	if l.arena != nil {
+		l.arena.PutSet(l.reached)
+		l.reached = nil
 	}
+	l.release()
 }
 
 // Source returns the routing source the reached set grows from.
@@ -136,10 +179,10 @@ func (l *Local) Source() graph.Vertex { return l.source }
 
 // Reached reports whether v is known to be connected to the source via
 // probed-open edges.
-func (l *Local) Reached(v graph.Vertex) bool { return l.reached[v] }
+func (l *Local) Reached(v graph.Vertex) bool { return l.reached.Has(v) }
 
 // NumReached returns the size of the reached set.
-func (l *Local) NumReached() int { return len(l.reached) }
+func (l *Local) NumReached() int { return l.reached.Len() }
 
 // Probe implements Prober, rejecting probes that do not touch the
 // reached set with ErrNotLocal.
@@ -148,7 +191,7 @@ func (l *Local) Probe(u, v graph.Vertex) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w: {%d, %d}", ErrNotEdge, u, v)
 	}
-	ru, rv := l.reached[u], l.reached[v]
+	ru, rv := l.reached.Has(u), l.reached.Has(v)
 	if !ru && !rv {
 		return false, fmt.Errorf("%w: {%d, %d}", ErrNotLocal, u, v)
 	}
@@ -158,9 +201,9 @@ func (l *Local) Probe(u, v graph.Vertex) (bool, error) {
 	}
 	if open {
 		if ru && !rv {
-			l.reached[v] = true
+			l.reached.Add(v)
 		} else if rv && !ru {
-			l.reached[u] = true
+			l.reached.Add(u)
 		}
 	}
 	return open, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 )
 
@@ -49,6 +50,16 @@ func (t *Transcript) Probe(u, v graph.Vertex) (bool, error) {
 
 // Graph implements Prober.
 func (t *Transcript) Graph() graph.Graph { return t.inner.Graph() }
+
+// Arena implements ArenaProvider by delegating to the wrapped prober,
+// so transcripted trials share the same pooled scratch as bare ones.
+// It returns nil when the inner prober carries no arena.
+func (t *Transcript) Arena() *arena.Arena {
+	if h, ok := t.inner.(ArenaProvider); ok {
+		return h.Arena()
+	}
+	return nil
+}
 
 // Count implements Prober.
 func (t *Transcript) Count() int { return t.inner.Count() }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 	"faultroute/internal/probe"
 )
@@ -24,19 +25,26 @@ func (r *BFSLocal) Name() string { return "bfs-local" }
 
 // Route implements Router.
 func (r *BFSLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
-	found, parent, err := bfsSearch(pr, src, func(v graph.Vertex) bool { return v == dst })
+	a, done := scratch(pr)
+	defer done()
+	found, parent, err := bfsSearch(a, pr, src, func(v graph.Vertex) bool { return v == dst })
 	if err != nil {
 		return nil, err
 	}
-	return parentChain(parent, src, found), nil
+	path := parentChain(parent, src, found)
+	a.PutMap(parent)
+	return path, nil
 }
 
 // bfsSearch runs a breadth-first search over open edges from root,
 // probing lazily, until goal accepts a visited vertex. It returns the
-// accepting vertex and the parent map for path reconstruction, ErrNoPath
-// when the cluster is exhausted, or the probe error (budget, locality).
-func bfsSearch(pr probe.Prober, root graph.Vertex, goal func(graph.Vertex) bool) (graph.Vertex, map[graph.Vertex]graph.Vertex, error) {
-	return bfsSearchBudget(pr, root, goal, 0)
+// accepting vertex and the parent table for path reconstruction,
+// ErrNoPath when the cluster is exhausted, or the probe error (budget,
+// locality). The parent table is borrowed from a; the caller must
+// return it with a.PutMap once the path is reconstructed (it is nil on
+// error, and when goal accepts root itself).
+func bfsSearch(a *arena.Arena, pr probe.Prober, root graph.Vertex, goal func(graph.Vertex) bool) (graph.Vertex, *arena.VMap, error) {
+	return bfsSearchBudget(a, pr, root, goal, 0)
 }
 
 // errSearchBudget reports a bfsSearchBudget stop on its fresh-probe cap.
@@ -46,41 +54,48 @@ var errSearchBudget = errors.New("route: search probe cap reached")
 // bfsSearchBudget is bfsSearch with an additional cap on fresh probes
 // charged by this search alone (0 = unlimited); exceeding the cap
 // returns errSearchBudget.
-func bfsSearchBudget(pr probe.Prober, root graph.Vertex, goal func(graph.Vertex) bool, maxFresh int) (graph.Vertex, map[graph.Vertex]graph.Vertex, error) {
+func bfsSearchBudget(a *arena.Arena, pr probe.Prober, root graph.Vertex, goal func(graph.Vertex) bool, maxFresh int) (graph.Vertex, *arena.VMap, error) {
 	if goal(root) {
-		return root, map[graph.Vertex]graph.Vertex{}, nil
+		return root, nil, nil
 	}
 	g := pr.Graph()
 	before := pr.Count()
-	parent := map[graph.Vertex]graph.Vertex{root: root}
-	queue := []graph.Vertex{root}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	parent := a.Map(g.Order())
+	parent.Set(root, root)
+	queue := a.Vertices()
+	queue = append(queue, root)
+	fail := func(err error) (graph.Vertex, *arena.VMap, error) {
+		a.PutVertices(queue)
+		a.PutMap(parent)
+		return 0, nil, err
+	}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
 		deg := g.Degree(x)
 		for i := 0; i < deg; i++ {
 			y := g.Neighbor(x, i)
-			if _, seen := parent[y]; seen {
+			if parent.Has(y) {
 				continue
 			}
 			if maxFresh > 0 && pr.Count()-before >= maxFresh {
-				return 0, nil, errSearchBudget
+				return fail(errSearchBudget)
 			}
 			open, err := pr.Probe(x, y)
 			if err != nil {
-				return 0, nil, fmt.Errorf("route: bfs from %d: %w", root, err)
+				return fail(fmt.Errorf("route: bfs from %d: %w", root, err))
 			}
 			if !open {
 				continue
 			}
-			parent[y] = x
+			parent.Set(y, x)
 			if goal(y) {
+				a.PutVertices(queue)
 				return y, parent, nil
 			}
 			queue = append(queue, y)
 		}
 	}
-	return 0, nil, fmt.Errorf("%w: cluster of %d exhausted", ErrNoPath, root)
+	return fail(fmt.Errorf("%w: cluster of %d exhausted", ErrNoPath, root))
 }
 
 // GreedyMetric is a best-first router for graphs with a closed-form
@@ -108,8 +123,16 @@ func (r *GreedyMetric) Route(pr probe.Prober, src, dst graph.Vertex) (Path, erro
 	if src == dst {
 		return Path{src}, nil
 	}
-	parent := map[graph.Vertex]graph.Vertex{src: src}
-	pq := &vertexHeap{}
+	a, done := scratch(pr)
+	defer done()
+	parent := a.Map(g.Order())
+	defer a.PutMap(parent)
+	parent.Set(src, src)
+	pq := &vertexHeap{vs: a.Vertices(), ks: a.Ints()}
+	defer func() {
+		a.PutVertices(pq.vs)
+		a.PutInts(pq.ks)
+	}()
 	pq.push(src, m.Dist(src, dst))
 	for pq.len() > 0 {
 		x := pq.pop()
@@ -123,7 +146,7 @@ func (r *GreedyMetric) Route(pr probe.Prober, src, dst graph.Vertex) (Path, erro
 				if (pass == 0) != improving {
 					continue
 				}
-				if _, seen := parent[y]; seen {
+				if parent.Has(y) {
 					continue
 				}
 				open, err := pr.Probe(x, y)
@@ -133,7 +156,7 @@ func (r *GreedyMetric) Route(pr probe.Prober, src, dst graph.Vertex) (Path, erro
 				if !open {
 					continue
 				}
-				parent[y] = x
+				parent.Set(y, x)
 				if y == dst {
 					return parentChain(parent, src, dst), nil
 				}
@@ -146,7 +169,7 @@ func (r *GreedyMetric) Route(pr probe.Prober, src, dst graph.Vertex) (Path, erro
 
 // vertexHeap is a minimal binary min-heap of (vertex, priority) pairs.
 // It avoids container/heap's interface indirection in the router hot
-// loop.
+// loop; its backing slices are borrowed from the trial arena.
 type vertexHeap struct {
 	vs []graph.Vertex
 	ks []int

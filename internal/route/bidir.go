@@ -3,6 +3,7 @@ package route
 import (
 	"fmt"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 	"faultroute/internal/probe"
 )
@@ -25,19 +26,32 @@ func NewBidirectionalBFS() *BidirectionalBFS { return &BidirectionalBFS{} }
 // Name implements Router.
 func (r *BidirectionalBFS) Name() string { return "bidir-bfs" }
 
-// bfsSide is one growing front of the bidirectional search.
+// bfsSide is one growing front of the bidirectional search. Its parent
+// table and frontier buffers are borrowed from the trial arena.
 type bfsSide struct {
 	root     graph.Vertex
-	parent   map[graph.Vertex]graph.Vertex
+	parent   *arena.VMap
 	frontier []graph.Vertex
+	next     []graph.Vertex // reused as the following layer's frontier
 }
 
-func newBFSSide(root graph.Vertex) *bfsSide {
-	return &bfsSide{
+func newBFSSide(a *arena.Arena, root graph.Vertex, order uint64) *bfsSide {
+	s := &bfsSide{
 		root:     root,
-		parent:   map[graph.Vertex]graph.Vertex{root: root},
-		frontier: []graph.Vertex{root},
+		parent:   a.Map(order),
+		frontier: a.Vertices(),
+		next:     a.Vertices(),
 	}
+	s.parent.Set(root, root)
+	s.frontier = append(s.frontier, root)
+	return s
+}
+
+func (s *bfsSide) release(a *arena.Arena) {
+	a.PutMap(s.parent)
+	a.PutVertices(s.frontier)
+	a.PutVertices(s.next)
+	s.parent = nil
 }
 
 // expand advances the side by one BFS layer, probing all unprobed edges
@@ -45,12 +59,12 @@ func newBFSSide(root graph.Vertex) *bfsSide {
 // other) if the fronts touched.
 func (s *bfsSide) expand(pr probe.Prober, other *bfsSide) (graph.Vertex, bool, error) {
 	g := pr.Graph()
-	var next []graph.Vertex
+	s.next = s.next[:0]
 	for _, x := range s.frontier {
 		deg := g.Degree(x)
 		for i := 0; i < deg; i++ {
 			y := g.Neighbor(x, i)
-			if _, seen := s.parent[y]; seen {
+			if s.parent.Has(y) {
 				continue
 			}
 			open, err := pr.Probe(x, y)
@@ -60,14 +74,14 @@ func (s *bfsSide) expand(pr probe.Prober, other *bfsSide) (graph.Vertex, bool, e
 			if !open {
 				continue
 			}
-			s.parent[y] = x
-			if _, meets := other.parent[y]; meets {
+			s.parent.Set(y, x)
+			if other.parent.Has(y) {
 				return y, true, nil
 			}
-			next = append(next, y)
+			s.next = append(s.next, y)
 		}
 	}
-	s.frontier = next
+	s.frontier, s.next = s.next, s.frontier
 	return 0, false, nil
 }
 
@@ -76,7 +90,12 @@ func (r *BidirectionalBFS) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 	if src == dst {
 		return Path{src}, nil
 	}
-	a, b := newBFSSide(src), newBFSSide(dst)
+	ar, done := scratch(pr)
+	defer done()
+	order := pr.Graph().Order()
+	a, b := newBFSSide(ar, src, order), newBFSSide(ar, dst, order)
+	defer a.release(ar)
+	defer b.release(ar)
 	for len(a.frontier) > 0 || len(b.frontier) > 0 {
 		// Expand the smaller live frontier. A stalled side has fully
 		// mapped its component, so the other side keeps expanding and

@@ -3,6 +3,7 @@ package route
 import (
 	"fmt"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 	"faultroute/internal/probe"
 	"faultroute/internal/rng"
@@ -30,26 +31,41 @@ func NewGnpLocal(seed uint64) *GnpLocal { return &GnpLocal{Seed: seed} }
 // Name implements Router.
 func (r *GnpLocal) Name() string { return "gnp-local" }
 
-// Route implements Router.
-func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
-	g := pr.Graph()
-	if src == dst {
-		return Path{src}, nil
-	}
-	n := g.Order()
-	// Candidate vertices in randomized order; src and dst excluded (dst
-	// is always probed first from each new member of U).
-	order := make([]graph.Vertex, 0, n-2)
-	stream := rng.NewStream(rng.Combine(r.Seed, 0xf00d))
+// shuffledCandidates fills a borrowed buffer with every vertex except
+// src and dst, shuffled by the stream — the randomized probe order both
+// G(n,p) routers share.
+func shuffledCandidates(a *arena.Arena, n uint64, src, dst graph.Vertex, stream *rng.Stream) []graph.Vertex {
+	order := a.Vertices()
 	for v := graph.Vertex(0); uint64(v) < n; v++ {
 		if v != src && v != dst {
 			order = append(order, v)
 		}
 	}
 	stream.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
 
-	parent := map[graph.Vertex]graph.Vertex{src: src}
-	members := []graph.Vertex{src} // U_t in discovery order
+// Route implements Router.
+func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
+	g := pr.Graph()
+	if src == dst {
+		return Path{src}, nil
+	}
+	a, done := scratch(pr)
+	defer done()
+	n := g.Order()
+	// Candidate vertices in randomized order; src and dst excluded (dst
+	// is always probed first from each new member of U).
+	stream := rng.NewStream(rng.Combine(r.Seed, 0xf00d))
+	order := shuffledCandidates(a, n, src, dst, stream)
+	defer func() { a.PutVertices(order) }()
+
+	parent := a.Map(n)
+	defer a.PutMap(parent)
+	parent.Set(src, src)
+	members := a.Vertices() // U_t in discovery order
+	defer func() { a.PutVertices(members) }()
+	members = append(members, src)
 	// Direct check from the source.
 	open, err := pr.Probe(src, dst)
 	if err != nil {
@@ -61,7 +77,9 @@ func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 
 	// next[i] is the index into `order` of the next candidate the i-th
 	// member of U will try to recruit.
-	next := []int{0}
+	next := a.Ints()
+	defer func() { a.PutInts(next) }()
+	next = append(next, 0)
 	for {
 		progressed := false
 		for i := 0; i < len(members); i++ {
@@ -69,7 +87,7 @@ func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 			// Advance x's pointer past candidates already recruited.
 			for next[i] < len(order) {
 				y := order[next[i]]
-				if _, in := parent[y]; in {
+				if parent.Has(y) {
 					next[i]++
 					continue
 				}
@@ -88,7 +106,7 @@ func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 			if !open {
 				continue
 			}
-			parent[y] = x
+			parent.Set(y, x)
 			members = append(members, y)
 			next = append(next, 0)
 			// Newly reached vertex: check its edge to the destination
@@ -98,7 +116,7 @@ func (r *GnpLocal) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 				return nil, fmt.Errorf("route: gnp-local: %w", err)
 			}
 			if open {
-				parent[dst] = y
+				parent.Set(dst, y)
 				return parentChain(parent, src, dst), nil
 			}
 		}
@@ -130,21 +148,33 @@ func NewGnpBidirectional(seed uint64) *GnpBidirectional {
 // Name implements Router.
 func (r *GnpBidirectional) Name() string { return "gnp-oracle" }
 
-// side is one growing cluster of the bidirectional search.
+// side is one growing cluster of the bidirectional search; its tables
+// and buffers are borrowed from the trial arena.
 type side struct {
 	root    graph.Vertex
 	members []graph.Vertex
-	parent  map[graph.Vertex]graph.Vertex
+	parent  *arena.VMap
 	next    []int // per-member candidate pointer
 }
 
-func newSide(root graph.Vertex) *side {
-	return &side{
+func newSide(a *arena.Arena, root graph.Vertex, order uint64) *side {
+	s := &side{
 		root:    root,
-		members: []graph.Vertex{root},
-		parent:  map[graph.Vertex]graph.Vertex{root: root},
-		next:    []int{0},
+		members: a.Vertices(),
+		parent:  a.Map(order),
+		next:    a.Ints(),
 	}
+	s.members = append(s.members, root)
+	s.parent.Set(root, root)
+	s.next = append(s.next, 0)
+	return s
+}
+
+func (s *side) release(a *arena.Arena) {
+	a.PutVertices(s.members)
+	a.PutMap(s.parent)
+	a.PutInts(s.next)
+	s.parent = nil
 }
 
 // Route implements Router.
@@ -154,16 +184,15 @@ func (r *GnpBidirectional) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 	}
 	g := pr.Graph()
 	n := g.Order()
-	order := make([]graph.Vertex, 0, n)
+	a, done := scratch(pr)
+	defer done()
 	stream := rng.NewStream(rng.Combine(r.Seed, 0xbeef))
-	for v := graph.Vertex(0); uint64(v) < n; v++ {
-		if v != src && v != dst {
-			order = append(order, v)
-		}
-	}
-	stream.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	order := shuffledCandidates(a, n, src, dst, stream)
+	defer func() { a.PutVertices(order) }()
 
-	us, vs := newSide(src), newSide(dst)
+	us, vs := newSide(a, src, n), newSide(a, dst, n)
+	defer us.release(a)
+	defer vs.release(a)
 	// crossQueue holds untested (u-side vertex, v-side vertex) pairs;
 	// each pair is enqueued exactly once, when its later endpoint joins
 	// its cluster.
@@ -181,9 +210,7 @@ func (r *GnpBidirectional) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 			x := s.members[i]
 			for s.next[i] < len(order) {
 				y := order[s.next[i]]
-				_, inS := s.parent[y]
-				_, inOther := other.parent[y]
-				if inS || inOther {
+				if s.parent.Has(y) || other.parent.Has(y) {
 					s.next[i]++
 					continue
 				}
@@ -195,7 +222,7 @@ func (r *GnpBidirectional) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 				if !open {
 					continue
 				}
-				s.parent[y] = x
+				s.parent.Set(y, x)
 				s.members = append(s.members, y)
 				s.next = append(s.next, 0)
 				enqueueCross(y, other)
@@ -207,7 +234,7 @@ func (r *GnpBidirectional) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 
 	join := func(a, b graph.Vertex) Path {
 		// a is in us, b in vs (or the reverse); normalize.
-		if _, inU := us.parent[a]; !inU {
+		if !us.parent.Has(a) {
 			a, b = b, a
 		}
 		left := parentChain(us.parent, src, a)

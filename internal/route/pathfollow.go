@@ -39,20 +39,24 @@ func (r *PathFollow) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error)
 	if src == dst {
 		return Path{src}, nil
 	}
+	a, done := scratch(pr)
+	defer done()
 	waypoints := pm.ShortestPath(src, dst)
-	// index of each waypoint along the canonical path.
-	index := make(map[graph.Vertex]int, len(waypoints))
+	// index maps each waypoint to its position along the canonical path
+	// (positions stored through the table's vertex-valued slots).
+	index := a.Map(g.Order())
+	defer a.PutMap(index)
 	for i, w := range waypoints {
-		index[w] = i
+		index.Set(w, graph.Vertex(i))
 	}
 
 	full := Path{src}
 	pos := 0
 	for pos < len(waypoints)-1 {
 		cur := waypoints[pos]
-		found, parent, err := bfsSearch(pr, cur, func(v graph.Vertex) bool {
-			j, isWaypoint := index[v]
-			return isWaypoint && j > pos
+		found, parent, err := bfsSearch(a, pr, cur, func(v graph.Vertex) bool {
+			j, isWaypoint := index.Get(v)
+			return isWaypoint && int(j) > pos
 		})
 		if err != nil {
 			// The cluster of cur (== the cluster of src: every completed
@@ -61,8 +65,10 @@ func (r *PathFollow) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error)
 			return nil, err
 		}
 		seg := parentChain(parent, cur, found)
+		a.PutMap(parent)
 		full = append(full, seg[1:]...)
-		pos = index[found]
+		j, _ := index.Get(found)
+		pos = int(j)
 	}
 	return full, nil
 }
@@ -90,10 +96,13 @@ func (r *PathFollow) RouteWithStats(pr probe.Prober, src, dst graph.Vertex) (Pat
 	if src == dst {
 		return Path{src}, nil, nil
 	}
+	a, done := scratch(pr)
+	defer done()
 	waypoints := pm.ShortestPath(src, dst)
-	index := make(map[graph.Vertex]int, len(waypoints))
+	index := a.Map(g.Order())
+	defer a.PutMap(index)
 	for i, w := range waypoints {
-		index[w] = i
+		index.Set(w, graph.Vertex(i))
 	}
 	full := Path{src}
 	var stats []SegmentStats
@@ -101,22 +110,24 @@ func (r *PathFollow) RouteWithStats(pr probe.Prober, src, dst graph.Vertex) (Pat
 	for pos < len(waypoints)-1 {
 		cur := waypoints[pos]
 		before := pr.Count()
-		found, parent, err := bfsSearch(pr, cur, func(v graph.Vertex) bool {
-			j, isWaypoint := index[v]
-			return isWaypoint && j > pos
+		found, parent, err := bfsSearch(a, pr, cur, func(v graph.Vertex) bool {
+			j, isWaypoint := index.Get(v)
+			return isWaypoint && int(j) > pos
 		})
 		if err != nil {
 			return nil, stats, err
 		}
 		seg := parentChain(parent, cur, found)
+		a.PutMap(parent)
 		full = append(full, seg[1:]...)
+		j, _ := index.Get(found)
 		stats = append(stats, SegmentStats{
 			From:   pos,
-			To:     index[found],
+			To:     int(j),
 			Probes: pr.Count() - before,
 			Hops:   seg.Len(),
 		})
-		pos = index[found]
+		pos = int(j)
 	}
 	return full, stats, nil
 }

@@ -96,6 +96,8 @@ func (r *GreedyWithRescue) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 	if !ok {
 		return nil, fmt.Errorf("route: greedy-rescue needs a metric graph, %s has none", g.Name())
 	}
+	a, done := scratch(pr)
+	defer done()
 	path := Path{src}
 	cur := src
 	for cur != dst {
@@ -124,7 +126,7 @@ func (r *GreedyWithRescue) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 		// Rescue phase: bounded BFS from cur for any strictly closer
 		// vertex.
 		target := m.Dist(cur, dst)
-		found, parent, err := bfsSearchBudget(pr, cur, func(v graph.Vertex) bool {
+		found, parent, err := bfsSearchBudget(a, pr, cur, func(v graph.Vertex) bool {
 			return m.Dist(v, dst) < target
 		}, r.RescueBudget)
 		if err != nil {
@@ -140,6 +142,7 @@ func (r *GreedyWithRescue) Route(pr probe.Prober, src, dst graph.Vertex) (Path, 
 			return nil, fmt.Errorf("route: greedy-rescue: %w", err)
 		}
 		seg := parentChain(parent, cur, found)
+		a.PutMap(parent)
 		path = append(path, seg[1:]...)
 		cur = found
 	}

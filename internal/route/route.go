@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 	"faultroute/internal/percolation"
 	"faultroute/internal/probe"
@@ -82,16 +83,31 @@ func Validate(s percolation.Sample, path Path, src, dst graph.Vertex) error {
 	return nil
 }
 
-// parentChain reconstructs the path ending at dst from a parent map and
-// reverses it in place so it runs source-to-destination.
-func parentChain(parent map[graph.Vertex]graph.Vertex, root, dst graph.Vertex) Path {
+// scratch returns the arena backing pr's trial state when the prober
+// carries one (so the router's search tables are recycled with the rest
+// of the trial), or a temporary pooled arena otherwise. done returns
+// the temporary arena to the pool; call it when the route finishes.
+func scratch(pr probe.Prober) (a *arena.Arena, done func()) {
+	if h, ok := pr.(probe.ArenaProvider); ok {
+		if a := h.Arena(); a != nil {
+			return a, func() {}
+		}
+	}
+	a = arena.Acquire()
+	return a, a.Release
+}
+
+// parentChain reconstructs the path ending at dst from a parent table
+// and reverses it in place so it runs source-to-destination. A nil
+// table is valid only when dst == root.
+func parentChain(parent *arena.VMap, root, dst graph.Vertex) Path {
 	var rev Path
 	for v := dst; ; {
 		rev = append(rev, v)
 		if v == root {
 			break
 		}
-		v = parent[v]
+		v, _ = parent.Get(v)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]

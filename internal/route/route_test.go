@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"faultroute/internal/arena"
 	"faultroute/internal/graph"
 	"faultroute/internal/percolation"
 	"faultroute/internal/probe"
@@ -288,7 +289,11 @@ func TestRouterNamesDistinct(t *testing.T) {
 }
 
 func TestParentChain(t *testing.T) {
-	parent := map[graph.Vertex]graph.Vertex{1: 1, 2: 1, 3: 2}
+	parent := new(arena.VMap)
+	parent.Reset(8)
+	parent.Set(1, 1)
+	parent.Set(2, 1)
+	parent.Set(3, 2)
 	p := parentChain(parent, 1, 3)
 	want := Path{1, 2, 3}
 	if len(p) != len(want) {

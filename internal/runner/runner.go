@@ -12,7 +12,12 @@
 // -workers to runtime.GOMAXPROCS(0) without perturbing a single table.
 //
 // The package is intentionally dependency-free so that any layer (core,
-// percolation, exp) can use it without import cycles.
+// percolation, exp) can use it without import cycles. Per-worker trial
+// scratch is NOT threaded through the pool for the same reason: the
+// trial layers draw their arena-backed buffers from internal/arena's
+// sync.Pool, whose per-P caching gives each worker goroutine a warm
+// arena across its shards without the scheduler knowing anything about
+// trial state.
 package runner
 
 import (

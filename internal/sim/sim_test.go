@@ -209,6 +209,7 @@ func TestDistributedBFSMessagesTrackProbes(t *testing.T) {
 	// BFSLocal's distinct-edge probes on the same sample.
 	g := graph.MustHypercube(8)
 	dst := g.Antipode(0)
+	var cluster percolation.Cluster // reused across seeds via ExploreInto
 	for seed := uint64(0); seed < 10; seed++ {
 		s := percolation.New(g, 0.5, seed)
 		out, err := DistributedBFS(s, 0, dst, 0)
@@ -234,7 +235,7 @@ func TestDistributedBFSMessagesTrackProbes(t *testing.T) {
 		}
 		// Upper bound: every cluster vertex transmits at most deg(v)
 		// messages (its flood fan-out), plus the echo path.
-		cluster := percolation.Explore(s, 0, 0)
+		percolation.ExploreInto(&cluster, s, 0, 0)
 		maxAttempts := 2 * len(out.Path)
 		for _, v := range cluster.Vertices {
 			maxAttempts += g.Degree(v)

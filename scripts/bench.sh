@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine benchmarks with -benchmem and emit a
+# machine-readable JSON snapshot, seeding the BENCH_*.json perf
+# trajectory that successive PRs are measured against.
+#
+# Usage:
+#   scripts/bench.sh [-o OUT.json] [-b 'BenchRegex'] [-t benchtime] [-c count]
+#
+# Defaults: OUT=BENCH_latest.json (an uncommitted scratch snapshot —
+# the committed BENCH_prN.json trajectory points are assembled from
+# these runs and carry extra before/after context, so the script never
+# writes over them by default), the two hot-path benchmarks the arena
+# work is gated on plus a few engine-wide sentinels, benchtime=200x
+# (fixed iteration counts keep run-to-run comparisons honest), count=1.
+#
+# The output schema is one object per benchmark:
+#   {"name": ..., "iterations": N, "metrics": {"ns/op": ..., "B/op": ...,
+#    "allocs/op": ..., "probes/op": ...}}
+# under a top-level {"go", "benchmarks"} envelope. Compare two files
+# with your tool of choice (jq, benchstat on the raw runs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_latest.json
+BENCH='BenchmarkE1HypercubePhase|BenchmarkE3MeshLinear|BenchmarkE6DoubleTreeGapOracle|BenchmarkE9HypercubeGiant|BenchmarkEstimate32TrialsSequential|BenchmarkEstimate32TrialsParallel'
+BENCHTIME=200x
+COUNT=1
+
+while getopts "o:b:t:c:" opt; do
+  case "$opt" in
+    o) OUT=$OPTARG ;;
+    b) BENCH=$OPTARG ;;
+    t) BENCHTIME=$OPTARG ;;
+    c) COUNT=$OPTARG ;;
+    *) echo "usage: $0 [-o out.json] [-b benchregex] [-t benchtime] [-c count]" >&2; exit 2 ;;
+  esac
+done
+
+RAW=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .)
+
+printf '%s\n' "$RAW" >&2
+
+printf '%s\n' "$RAW" | awk -v goversion="$(go version | cut -d' ' -f3)" '
+BEGIN {
+  printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [", goversion
+  n = 0
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
+  m = 0
+  # Fields after the iteration count come in (value, unit) pairs.
+  for (i = 3; i + 1 <= NF; i += 2) {
+    if (m++) printf ", "
+    printf "\"%s\": %s", $(i + 1), $i
+  }
+  printf "}}"
+}
+END {
+  printf "\n  ]\n}\n"
+}' > "$OUT"
+
+echo "wrote $OUT" >&2
