@@ -26,6 +26,7 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -74,9 +75,17 @@ type Result struct {
 	Body json.RawMessage `json:"body"`
 }
 
-// Estimate decodes the result of a KindEstimate request.
+// Estimate decodes the result of a KindEstimate request submitted
+// without a ShardSpec.
 func (r Result) Estimate() (EstimateResult, error) {
 	var out EstimateResult
+	return out, r.decode(KindEstimate, &out)
+}
+
+// Shard decodes the result of a KindEstimate request submitted with a
+// ShardSpec: the per-trial rows of the sub-range.
+func (r Result) Shard() (ShardResult, error) {
+	var out ShardResult
 	return out, r.decode(KindEstimate, &out)
 }
 
@@ -104,7 +113,17 @@ func (r Result) decode(kind string, out any) error {
 	if r.Kind != kind {
 		return fmt.Errorf("api: result is %q, not %q", r.Kind, kind)
 	}
-	return json.Unmarshal(r.Body, out)
+	// Strict decoding: canonical bodies carry exactly the fields of
+	// their result struct, so an unknown field means the caller picked
+	// the wrong decoder — e.g. Estimate() on a shard sub-job's rows, or
+	// Giant() on a Clusters=true result. Lenient unmarshaling would
+	// silently produce zero values there.
+	dec := json.NewDecoder(bytes.NewReader(r.Body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("api: decoding %s result: %w", kind, err)
+	}
+	return nil
 }
 
 // Event is one progress observation of a running request, streamed by

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"faultroute/internal/cache"
 	"faultroute/internal/core"
@@ -308,27 +309,95 @@ func normalizeEstimate(es EstimateSpec, workers int) (EstimateSpec, int64, Task,
 	if norm.P < 0 || norm.P > 1 {
 		return zero, 0, nil, fmt.Errorf("retention probability %v outside [0, 1]", norm.P)
 	}
+	if s := norm.Shard; s != nil {
+		// A shard names a sub-range of the parent's [0, Trials) schedule;
+		// its result is the per-trial rows of that range. Copy the spec so
+		// normalization never aliases the submission's ShardSpec.
+		// Bounds are checked subtraction-style so a huge Offset+Count can
+		// never wrap past the Trials ceiling.
+		if s.Offset < 0 || s.Count <= 0 || s.Offset >= norm.Trials || s.Count > norm.Trials-s.Offset {
+			return zero, 0, nil, fmt.Errorf("shard [offset %d, count %d) outside the trial range [0, %d)",
+				s.Offset, s.Count, norm.Trials)
+		}
+		shard := *s
+		norm.Shard = &shard
+		n := norm
+		task := func(ctx context.Context, progress func(delta int)) ([]byte, error) {
+			rows, err := core.EstimateShardCtx(ctx, spec, src, dst,
+				shard.Offset, shard.Count, n.MaxTries, n.Seed, workers, runner.Progress(progress))
+			if err != nil {
+				return nil, err
+			}
+			out := ShardResult{Offset: shard.Offset, Rows: make([]TrialRow, len(rows))}
+			for i, r := range rows {
+				out.Rows[i] = TrialRow{Probes: r.Probes, Accepted: r.Accepted, Censored: r.Censored, Rejected: r.Rejected}
+			}
+			return encodeResult(out)
+		}
+		return norm, int64(shard.Count), task, nil
+	}
 	n := norm // capture the canonical spec, not the submission
 	task := func(ctx context.Context, progress func(delta int)) ([]byte, error) {
 		c, err := core.EstimateCtx(ctx, spec, src, dst, n.Trials, n.MaxTries, n.Seed, workers, runner.Progress(progress))
 		if err != nil {
 			return nil, err
 		}
-		return encodeResult(EstimateResult{
-			Trials:   c.Trials,
-			Censored: c.Censored,
-			Rejected: c.Rejected,
-			Mean:     c.Mean,
-			Std:      c.Std,
-			Min:      c.Min,
-			Q25:      c.Q25,
-			Median:   c.Median,
-			Q75:      c.Q75,
-			P90:      c.P90,
-			Max:      c.Max,
-		})
+		return encodeResult(estimateResultOf(c))
 	}
 	return norm, int64(norm.Trials), task, nil
+}
+
+// estimateResultOf converts the engine's Complexity into the wire
+// result — the ONE mapping both the in-process task and MergeShards
+// encode through, which is what keeps a distributed merge byte-identical
+// to a single-machine run.
+func estimateResultOf(c core.Complexity) EstimateResult {
+	return EstimateResult{
+		Trials:   c.Trials,
+		Censored: c.Censored,
+		Rejected: c.Rejected,
+		Mean:     c.Mean,
+		Std:      c.Std,
+		Min:      c.Min,
+		Q25:      c.Q25,
+		Median:   c.Median,
+		Q75:      c.Q75,
+		P90:      c.P90,
+		Max:      c.Max,
+	}
+}
+
+// MergeShards folds the decoded shard results of one estimate back into
+// the parent job's canonical result bytes, with core.MergeTrials
+// semantics: rows are concatenated in trial order, so the output is
+// byte-identical to executing the unsharded job — on any machine, at any
+// shard count, for any assignment of shards to backends. The shards must
+// tile a contiguous range starting at trial 0 (any argument order);
+// gaps, overlaps and a nonzero start are rejected, because a partial
+// merge would silently compute a different distribution.
+func MergeShards(shards []ShardResult) ([]byte, error) {
+	ordered := make([]ShardResult, len(shards))
+	copy(ordered, shards)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Offset < ordered[j].Offset })
+	next, total := 0, 0
+	for _, s := range ordered {
+		if s.Offset != next {
+			return nil, fmt.Errorf("api: shard coverage broken at trial %d (next shard starts at %d)", next, s.Offset)
+		}
+		next += len(s.Rows)
+		total += len(s.Rows)
+	}
+	rows := make([]core.TrialResult, 0, total)
+	for _, s := range ordered {
+		for _, r := range s.Rows {
+			rows = append(rows, core.TrialResult{Probes: r.Probes, Accepted: r.Accepted, Censored: r.Censored, Rejected: r.Rejected})
+		}
+	}
+	c, err := core.MergeTrials(rows)
+	if err != nil {
+		return nil, err
+	}
+	return encodeResult(estimateResultOf(c))
 }
 
 // normalizeExperiment validates an experiment submission.

@@ -1,0 +1,166 @@
+package api_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"faultroute/api"
+)
+
+// shardReq returns an estimate request narrowed to [off, off+count).
+func shardReq(trials, off, count int) api.Request {
+	req := estimateReq()
+	req.Estimate.Trials = trials
+	req.Estimate.Shard = &api.ShardSpec{Offset: off, Count: count}
+	return req
+}
+
+func TestCompileRejectsBadShardRanges(t *testing.T) {
+	wantReject(t, shardReq(10, -1, 3), "shard")
+	wantReject(t, shardReq(10, 0, 0), "shard")
+	wantReject(t, shardReq(10, 8, 3), "shard")
+	wantReject(t, shardReq(10, 10, 1), "shard")
+	// Offset+Count wrapping past MaxInt must not sneak under Trials.
+	wantReject(t, shardReq(10, math.MaxInt, 1), "shard")
+	wantReject(t, shardReq(10, 1, math.MaxInt), "shard")
+}
+
+func TestResultDecodersRejectMismatchedShape(t *testing.T) {
+	// Shard sub-jobs and whole estimates share Kind "estimate"; the
+	// typed decoders must fail loudly on the wrong body shape instead of
+	// returning zero values.
+	ctx := context.Background()
+	wholePlan, err := api.Compile(estimateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeBody, err := wholePlan.Task(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardPlan, err := api.Compile(shardReq(3, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardBody, err := shardPlan.Task(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := api.Result{Kind: api.KindEstimate, Key: wholePlan.Key, Body: wholeBody}
+	shard := api.Result{Kind: api.KindEstimate, Key: shardPlan.Key, Body: shardBody}
+	if _, err := whole.Shard(); err == nil {
+		t.Fatal("Shard() decoded an unsharded estimate body without error")
+	}
+	if _, err := shard.Estimate(); err == nil {
+		t.Fatal("Estimate() decoded a shard body without error")
+	}
+	if _, err := whole.Estimate(); err != nil {
+		t.Fatalf("Estimate() on its own shape: %v", err)
+	}
+	if _, err := shard.Shard(); err != nil {
+		t.Fatalf("Shard() on its own shape: %v", err)
+	}
+}
+
+func TestShardKeyDistinctFromParentAndOtherShards(t *testing.T) {
+	parent, err := api.Key(estimateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := api.Key(shardReq(3, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := api.Key(shardReq(3, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == parent || k2 == parent || k1 == k2 {
+		t.Fatalf("shard keys must be distinct content addresses: parent=%s k1=%s k2=%s", parent, k1, k2)
+	}
+}
+
+func TestShardNormalizationDoesNotAliasSubmission(t *testing.T) {
+	req := shardReq(3, 0, 2)
+	norm, err := api.Normalize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm.Estimate.Shard.Count = 1
+	if req.Estimate.Shard.Count != 2 {
+		t.Fatal("normalized request aliases the submission's ShardSpec")
+	}
+}
+
+func TestMergeShardsReproducesUnshardedBytes(t *testing.T) {
+	// The load-bearing property of the distributed runner: executing a
+	// job as shards and folding them with MergeShards yields exactly the
+	// unsharded job's canonical bytes, at any shard layout.
+	ctx := context.Background()
+	req := estimateReq()
+	req.Estimate.Trials = 12
+	plan, err := api.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Task(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cuts := range [][]int{{0, 12}, {0, 5, 12}, {0, 1, 2, 12}, {0, 4, 8, 12}} {
+		var shards []api.ShardResult
+		// Execute the shards out of order: MergeShards must re-establish
+		// trial order itself.
+		for i := len(cuts) - 2; i >= 0; i-- {
+			sp, err := api.Compile(shardReq(12, cuts[i], cuts[i+1]-cuts[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := sp.Task(ctx, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr, err := (api.Result{Kind: api.KindEstimate, Key: sp.Key, Body: body}).Shard()
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, sr)
+		}
+		got, err := api.MergeShards(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cuts %v: MergeShards bytes differ from unsharded run:\n got %s\nwant %s", cuts, got, want)
+		}
+	}
+}
+
+func TestMergeShardsRejectsGapsOverlapsAndNonzeroStart(t *testing.T) {
+	row := func(n int) []api.TrialRow { return make([]api.TrialRow, n) }
+	cases := []struct {
+		name   string
+		shards []api.ShardResult
+	}{
+		{"gap", []api.ShardResult{{Offset: 0, Rows: row(2)}, {Offset: 3, Rows: row(1)}}},
+		{"overlap", []api.ShardResult{{Offset: 0, Rows: row(2)}, {Offset: 1, Rows: row(2)}}},
+		{"nonzero start", []api.ShardResult{{Offset: 1, Rows: row(2)}}},
+	}
+	for _, tc := range cases {
+		if _, err := api.MergeShards(tc.shards); err == nil {
+			t.Fatalf("%s: MergeShards accepted broken coverage", tc.name)
+		}
+	}
+}
+
+func TestShardTotalIsCount(t *testing.T) {
+	plan, err := api.Compile(shardReq(10, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total != 5 {
+		t.Fatalf("shard plan total = %d, want 5", plan.Total)
+	}
+}

@@ -25,17 +25,36 @@ type GraphSpec struct {
 // EstimateSpec is a routing-complexity measurement job (core.Estimate
 // over the wire). Dst nil selects the family's canonical destination
 // (antipode, opposite corner, mirrored root); normalization resolves it.
+//
+// Shard, when non-nil, narrows the job to the trial sub-range it names:
+// the result is then the per-trial rows of that range (a ShardResult)
+// instead of the merged distribution, so a distributed runner can fan
+// disjoint ranges out to many backends and fold them back with
+// MergeShards. The field sits last so that the nil (whole-job) encoding
+// — and therefore every pre-shard content address — is unchanged.
 type EstimateSpec struct {
-	Graph    GraphSpec `json:"graph"`
-	P        float64   `json:"p"`
-	Router   string    `json:"router"`
-	Mode     string    `json:"mode"`
-	Budget   int       `json:"budget"`
-	Src      uint64    `json:"src"`
-	Dst      *uint64   `json:"dst"`
-	Trials   int       `json:"trials"`
-	MaxTries int       `json:"maxTries"`
-	Seed     uint64    `json:"seed"`
+	Graph    GraphSpec  `json:"graph"`
+	P        float64    `json:"p"`
+	Router   string     `json:"router"`
+	Mode     string     `json:"mode"`
+	Budget   int        `json:"budget"`
+	Src      uint64     `json:"src"`
+	Dst      *uint64    `json:"dst"`
+	Trials   int        `json:"trials"`
+	MaxTries int        `json:"maxTries"`
+	Seed     uint64     `json:"seed"`
+	Shard    *ShardSpec `json:"shard,omitempty"`
+}
+
+// ShardSpec selects the trial sub-range [Offset, Offset+Count) of an
+// estimate's [0, Trials) schedule. Trial number Offset+i derives its
+// randomness from (seed, Offset+i) exactly as in an unsharded run, so a
+// shard's rows are the same rows a single-machine run would produce for
+// those indices. The shard is part of the hashed spec: every sub-range
+// has its own content address, distinct from the parent job's.
+type ShardSpec struct {
+	Offset int `json:"offset"`
+	Count  int `json:"count"`
 }
 
 // ExperimentSpec is one EXPERIMENTS.md experiment run (E1..E18). Its
@@ -70,6 +89,28 @@ type EstimateResult struct {
 	Q75      float64 `json:"q75"`
 	P90      float64 `json:"p90"`
 	Max      float64 `json:"max"`
+}
+
+// TrialRow is one trial's outcome inside a ShardResult — the wire form
+// of core.TrialResult. Exactly one of Accepted/Censored is set on a
+// successful trial (a trial that errors fails the whole shard job
+// instead, mirroring the in-process engine).
+type TrialRow struct {
+	// Probes is comp(A) for this trial, meaningful when Accepted.
+	Probes   float64 `json:"probes"`
+	Accepted bool    `json:"accepted,omitempty"`
+	Censored bool    `json:"censored,omitempty"`
+	// Rejected counts conditioning rejections within the trial.
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// ShardResult is the canonical result of an estimate job submitted with
+// a ShardSpec: the per-trial rows of [Offset, Offset+Count) in trial
+// order. MergeShards folds a covering set of these back into the parent
+// job's canonical EstimateResult bytes.
+type ShardResult struct {
+	Offset int        `json:"offset"`
+	Rows   []TrialRow `json:"rows"`
 }
 
 // TableResult is the canonical encoding of an experiment table — the

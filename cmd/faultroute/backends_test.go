@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"faultroute/serve"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns its output.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = orig
+	if ferr != nil {
+		t.Fatalf("captured run failed: %v", ferr)
+	}
+	return <-done
+}
+
+// TestEstimateBackendsMatchesLocalRows pins the estimate-mode fan-out:
+// the printed distribution rows are identical whether the trials ran
+// in-process or sharded across two faultrouted backends.
+func TestEstimateBackendsMatchesLocalRows(t *testing.T) {
+	urls := make([]string, 2)
+	for i := range urls {
+		svc := serve.New(serve.Options{Workers: 2, Executors: 2, QueueDepth: 16})
+		t.Cleanup(svc.Close)
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	args := []string{"-graph", "hypercube", "-n", "7", "-p", "0.6", "-trials", "20", "-seed", "3"}
+
+	local := captureStdout(t, func() error { return run(args) })
+	distributed := captureStdout(t, func() error {
+		return run(append(args, "-backends", strings.Join(urls, ",")))
+	})
+	if !bytes.Equal(local, distributed) {
+		t.Fatalf("-backends rows differ from in-process run:\nlocal:\n%s\ndistributed:\n%s", local, distributed)
+	}
+}
+
+func TestBackendsRequiresEstimateMode(t *testing.T) {
+	err := run([]string{"-graph", "hypercube", "-n", "5", "-backends", "http://localhost:1"})
+	if err == nil || !strings.Contains(err.Error(), "estimate mode") {
+		t.Fatalf("single-run mode with -backends: err = %v, want estimate-mode error", err)
+	}
+}

@@ -18,6 +18,13 @@
 //	faultroute -graph hypercube -n 12 -trials 50
 //	faultroute -graph hypercube -n 12 -trials 50 -psweep 0.3,0.4,0.5 -workers 4
 //
+// With -backends the estimate is dispatched across a pool of faultrouted
+// daemons instead of running in-process: the trial range splits into
+// sub-jobs fanned over the backends and the merged distribution is
+// byte-identical to the local run (see faultroute/dispatch):
+//
+//	faultroute -graph hypercube -n 12 -trials 5000 -backends http://a:8080,http://b:8080
+//
 // Output is bit-identical for every -workers value. Defaults (router,
 // destination, mode, seed) are resolved by api.Normalize — the same
 // normalization the faultrouted daemon applies — and estimate mode runs
@@ -39,6 +46,7 @@ import (
 
 	"faultroute"
 	"faultroute/api"
+	"faultroute/dispatch"
 )
 
 func main() {
@@ -74,8 +82,9 @@ func run(args []string) error {
 		trials  = fs.Int("trials", 0, "estimate the complexity distribution over this many conditioned samples (0 = single run)")
 		tries   = fs.Int("tries", 100, "conditioning retry budget per trial (estimate mode)")
 		psweep  = fs.String("psweep", "", "comma-separated p values to batch in estimate mode (default: just -p)")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "total trial-level parallelism in estimate mode, spread across the -psweep values (results are identical for any value)")
-		timeout = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "total trial-level parallelism in estimate mode, spread across the -psweep values (results are identical for any value)")
+		timeout  = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
+		backends = fs.String("backends", "", "comma-separated faultrouted base URLs; estimate mode then shards its trials across the pool (results are byte-identical to in-process runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -126,10 +135,36 @@ func run(args []string) error {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		return estimate(ctx, g.Name(), ne, *workers, *psweep)
+		// In-process by default; a backend pool when -backends names one.
+		// Either runner returns the same canonical bytes for a request, so
+		// the printed rows cannot depend on where the trials ran.
+		var r api.Runner = faultroute.NewLocal(faultroute.WithWorkers(*workers))
+		reqWorkers := *workers
+		if *backends != "" {
+			pool, err := dispatch.New(dispatch.ParseBackends(*backends))
+			if err != nil {
+				return err
+			}
+			r = pool
+			// -workers defaults to THIS machine's core count — never
+			// impose that on remote backends unless explicitly asked.
+			workersSet := false
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "workers" {
+					workersSet = true
+				}
+			})
+			if !workersSet {
+				reqWorkers = 0 // each backend's own default
+			}
+		}
+		return estimate(ctx, r, g.Name(), ne, *workers, reqWorkers, *psweep)
 	}
 	if *psweep != "" {
 		return fmt.Errorf("-psweep requires estimate mode: pass -trials N (N > 0)")
+	}
+	if *backends != "" {
+		return fmt.Errorf("-backends requires estimate mode: pass -trials N (N > 0)")
 	}
 
 	r, err := api.NewRouter(ne.Router, ne.Seed)
@@ -169,16 +204,19 @@ func run(args []string) error {
 }
 
 // estimate runs the multi-trial, multi-p estimate mode through the
-// Runner API: each p becomes one api.Request executed by a Local, with
-// enough ps in flight concurrently to keep roughly -workers trial
-// goroutines busy in total — each request parallelizes min(workers,
-// trials) trials, so when trials < workers several ps run at once
-// rather than leaving workers idle. The printed rows are decoded from
-// the canonical result JSON — the same bytes a faultrouted daemon
-// caches for the spec — and the whole sweep is canceled when ctx's
-// deadline (-timeout) passes. Per-request randomness is split from
-// (seed, trial), so concurrency never changes a number.
-func estimate(ctx context.Context, graphName string, spec api.EstimateSpec, workers int, psweep string) error {
+// Runner API: each p becomes one api.Request executed by r (a Local, or
+// a dispatch.Pool when -backends is set), with enough ps in flight
+// concurrently to keep roughly -workers trial goroutines busy in total
+// — each request parallelizes min(workers, trials) trials, so when
+// trials < workers several ps run at once rather than leaving workers
+// idle. The printed rows are decoded from the canonical result JSON —
+// the same bytes a faultrouted daemon caches for the spec — and the
+// whole sweep is canceled when ctx's deadline (-timeout) passes.
+// Per-request randomness is split from (seed, trial), so concurrency
+// never changes a number. workers drives the local concurrency math
+// and the banner; reqWorkers is what each wire request carries (0 lets
+// a remote backend use its own default — workers are result-neutral).
+func estimate(ctx context.Context, r api.Runner, graphName string, spec api.EstimateSpec, workers, reqWorkers int, psweep string) error {
 	ps := []float64{spec.P}
 	if psweep != "" {
 		ps = ps[:0]
@@ -190,7 +228,6 @@ func estimate(ctx context.Context, graphName string, spec api.EstimateSpec, work
 			ps = append(ps, p)
 		}
 	}
-	local := faultroute.NewLocal(faultroute.WithWorkers(workers))
 	fmt.Printf("%s  seed=%d  %s/%s  %d -> %d  (%d trials per p, %d workers)\n",
 		graphName, spec.Seed, spec.Router, spec.Mode, spec.Src, *spec.Dst, spec.Trials, workers)
 	// Cap in-flight ps so the total trial-goroutine count stays near
@@ -215,7 +252,7 @@ func estimate(ctx context.Context, graphName string, spec api.EstimateSpec, work
 			defer func() { <-sem }()
 			s := spec
 			s.P = p
-			res, err := local.Do(ctx, api.Request{Kind: api.KindEstimate, Estimate: &s})
+			res, err := r.Do(ctx, api.Request{Kind: api.KindEstimate, Estimate: &s, Workers: reqWorkers})
 			if err != nil {
 				rows[i].err = err
 				return

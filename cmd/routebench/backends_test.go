@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"faultroute/serve"
+)
+
+// bootBackends starts n in-process faultrouted services and returns the
+// comma-joined -backends value.
+func bootBackends(t *testing.T, n int) string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		svc := serve.New(serve.Options{Workers: 2, Executors: 2, QueueDepth: 16})
+		t.Cleanup(svc.Close)
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestBackendsJSONByteIdenticalToLocal is the fourth-entry-point
+// acceptance pin at the CLI level: `routebench -format json -backends
+// a,b` emits exactly the bytes of the in-process run.
+func TestBackendsJSONByteIdenticalToLocal(t *testing.T) {
+	backends := bootBackends(t, 2)
+	args := []string{"-exp", "E1,E3", "-seed", "1", "-scale", "quick", "-format", "json"}
+
+	local := captureStdout(t, func() error { return run(args) })
+	distributed := captureStdout(t, func() error {
+		return run(append(args, "-backends", backends))
+	})
+	if !bytes.Equal(local, distributed) {
+		t.Fatalf("-backends JSON differs from in-process run:\nlocal:\n%s\ndistributed:\n%s", local, distributed)
+	}
+}
+
+// TestBackendsRendersDecodedTables covers the non-JSON formats: tables
+// decoded from backend bytes render exactly like in-process ones
+// (figure-free formats only).
+func TestBackendsRendersDecodedTables(t *testing.T) {
+	backends := bootBackends(t, 2)
+	args := []string{"-exp", "E1", "-seed", "1", "-scale", "quick", "-format", "markdown"}
+
+	local := captureStdout(t, func() error { return run(args) })
+	distributed := captureStdout(t, func() error {
+		return run(append(args, "-backends", backends))
+	})
+	if !bytes.Equal(local, distributed) {
+		t.Fatalf("-backends markdown differs from in-process run:\nlocal:\n%s\ndistributed:\n%s", local, distributed)
+	}
+}
+
+func TestBackendsRejectsPlot(t *testing.T) {
+	if err := run([]string{"-exp", "E1", "-plot", "-backends", "http://localhost:1"}); err == nil {
+		t.Fatal("-plot with -backends accepted")
+	}
+}

@@ -11,6 +11,9 @@
 //	routebench -workers 4            cap trial-level parallelism
 //	routebench -exp E1 -format json  canonical JSON (what faultrouted caches)
 //	routebench -timeout 30s          abort a run that overstays its budget
+//	routebench -backends http://a:8080,http://b:8080
+//	                                 dispatch the experiments across a pool of
+//	                                 faultrouted backends (same bytes, more machines)
 //
 // Tables are bit-identical for every -workers value (each trial's
 // randomness is split from the seed and the trial index, never from
@@ -29,6 +32,7 @@ import (
 
 	"faultroute"
 	"faultroute/api"
+	"faultroute/dispatch"
 	"faultroute/internal/exp"
 )
 
@@ -56,8 +60,9 @@ func run(args []string) error {
 		scale   = fs.String("scale", "quick", "parameter scale: quick or full")
 		plots   = fs.Bool("plot", false, "also render ASCII figures for experiments that define them")
 		format  = fs.String("format", "text", "table format: text, csv, markdown, or json (the canonical encoding the faultrouted cache serves)")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for trial-level parallelism (results are identical for any value)")
-		timeout = fs.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for trial-level parallelism (results are identical for any value)")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
+		backends = fs.String("backends", "", "comma-separated faultrouted base URLs; when set, experiments are dispatched across the pool instead of running in-process (bytes are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,6 +74,15 @@ func run(args []string) error {
 	if *seed == 0 {
 		*seed = 1 // wire normalization's default; applied up front so every format agrees
 	}
+	// -workers defaults to THIS machine's core count — right for local
+	// runs, wrong to impose on remote backends. Forward it over the wire
+	// only when the user explicitly asked for a cap.
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
 
 	if *list {
 		for _, e := range exp.All() {
@@ -113,6 +127,57 @@ func run(args []string) error {
 		}
 	}
 
+	// Distributed execution: every chosen experiment becomes one wire
+	// job spread across the -backends pool (whole-job dispatch with
+	// failover — see faultroute/dispatch), and the rendered tables are
+	// decoded from exactly the canonical bytes the backends cached.
+	// -plot keeps the in-process path: figures never cross the wire.
+	if *backends != "" {
+		if *plots {
+			return fmt.Errorf("-plot needs the in-process tables; drop -plot or -backends")
+		}
+		pool, err := dispatch.New(dispatch.ParseBackends(*backends))
+		if err != nil {
+			return err
+		}
+		reqWorkers := 0 // 0 = each backend's own default
+		if workersSet {
+			reqWorkers = *workers
+		}
+		reqs := make([]api.Request, len(chosen))
+		for i, e := range chosen {
+			reqs[i] = api.Request{
+				Kind:       api.KindExperiment,
+				Experiment: &api.ExperimentSpec{ID: e.ID, Seed: *seed, Scale: *scale},
+				Workers:    reqWorkers,
+			}
+		}
+		results, err := pool.DoBatch(ctx, reqs)
+		if err != nil {
+			return err
+		}
+		if *format == "text" {
+			fmt.Printf("faultroute evaluation — scale=%s seed=%d (%d backends)\n\n", *scale, *seed, len(pool.Backends()))
+		}
+		for i, res := range results {
+			if *format == "json" {
+				if _, err := os.Stdout.Write(res.Body); err != nil {
+					return err
+				}
+				continue
+			}
+			tr, err := res.Table()
+			if err != nil {
+				return fmt.Errorf("%s: %w", chosen[i].ID, err)
+			}
+			tbl := &exp.Table{ID: tr.ID, Title: tr.Title, Claim: tr.Claim, Columns: tr.Columns, Rows: tr.Rows, Notes: tr.Notes}
+			if err := render(tbl, *format); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// JSON is the canonical wire encoding: run it through the shared
 	// Runner API so the emitted bytes are, by construction, the same
 	// canonical JSON faultrouted caches and the remote client decodes.
@@ -137,21 +202,6 @@ func run(args []string) error {
 		return nil
 	}
 
-	render := func(tbl *exp.Table) error {
-		switch *format {
-		case "text":
-			return tbl.Render(os.Stdout)
-		case "csv":
-			return tbl.RenderCSV(os.Stdout)
-		case "markdown":
-			return tbl.RenderMarkdown(os.Stdout)
-		case "json":
-			return tbl.RenderJSON(os.Stdout)
-		default:
-			return fmt.Errorf("unknown format %q (want text, csv, markdown or json)", *format)
-		}
-	}
-
 	if *format == "text" {
 		fmt.Printf("faultroute evaluation — scale=%s seed=%d\n\n", cfg.Scale, cfg.Seed)
 	}
@@ -164,7 +214,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if err := render(tbl); err != nil {
+		if err := render(tbl, *format); err != nil {
 			return err
 		}
 		if *plots {
@@ -177,4 +227,20 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// render writes one table in the selected format.
+func render(tbl *exp.Table, format string) error {
+	switch format {
+	case "text":
+		return tbl.Render(os.Stdout)
+	case "csv":
+		return tbl.RenderCSV(os.Stdout)
+	case "markdown":
+		return tbl.RenderMarkdown(os.Stdout)
+	case "json":
+		return tbl.RenderJSON(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv, markdown or json)", format)
+	}
 }

@@ -1,0 +1,528 @@
+// Package dispatch is the distributed implementation of api.Runner: a
+// Pool that fans one request out across many faultrouted backends and
+// folds the pieces back into the request's canonical result bytes.
+//
+// It is the fourth entry point of the execution surface — after the
+// in-process faultroute.Local, the faultroute/serve HTTP service, and
+// the single-backend faultroute/client — and the first that scales a
+// single estimate past one machine. The byte-identity guarantee of the
+// Runner API survives intact: a Pool over any number of backends, at any
+// shard layout, with any pattern of mid-run failures and re-dispatches,
+// returns exactly the bytes faultroute.Local computes for the same
+// request.
+//
+// How the fan-out works, per request kind:
+//
+//   - Estimates are sharded: the [0, Trials) schedule splits into
+//     trial-range sub-jobs (api.ShardSpec), each dispatched to a backend
+//     as its own content-addressed job whose result is the range's
+//     per-trial rows. The Pool merges the rows in trial order
+//     (api.MergeShards, the core.MergeTrials semantics), which is why
+//     the shard layout can never change a byte of the output.
+//   - Experiments and percolation sweeps are dispatched whole to one
+//     backend each: their results are not trial-addressable over the
+//     wire. Concurrency across MANY such requests still fans out —
+//     DoBatch (and any concurrent Do calls) spread requests over the
+//     backend set.
+//
+// Failure handling leans on the same determinism: every sub-job is a
+// pure function of its spec, so when a backend dies mid-shard the Pool
+// simply re-dispatches the shard to a surviving backend — the retried
+// range recomputes the identical rows. Backends that fail are skipped
+// for a cooldown period; selection is round-robin over the healthy set.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultroute/api"
+	"faultroute/client"
+)
+
+// Pool dispatches requests across a fixed set of faultrouted backends.
+// Construct with New; a Pool is immutable after construction and safe
+// for concurrent use — concurrent Do/Watch/DoBatch calls share the
+// in-flight sub-job bound.
+type Pool struct {
+	backends []*backend
+	rr       atomic.Uint64 // round-robin cursor
+	sem      chan struct{} // bounds in-flight sub-jobs, pool-wide
+
+	shardTrials int
+	attempts    int
+	cooldown    time.Duration
+}
+
+// backend is one faultrouted base URL plus its health mark.
+type backend struct {
+	url string
+	c   *client.Client
+
+	mu        sync.Mutex
+	downUntil time.Time
+}
+
+// markDown records a dispatch failure: the backend is skipped by
+// selection until the cooldown passes (it stays eligible as a last
+// resort when every backend is down).
+func (b *backend) markDown(cooldown time.Duration) {
+	b.mu.Lock()
+	b.downUntil = time.Now().Add(cooldown)
+	b.mu.Unlock()
+}
+
+// up reports whether the backend is currently eligible for selection.
+func (b *backend) up() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Now().After(b.downUntil)
+}
+
+// Option configures a Pool.
+type Option func(*settings)
+
+type settings struct {
+	clientOpts  []client.Option
+	shardTrials int
+	maxInFlight int
+	attempts    int
+	cooldown    time.Duration
+}
+
+// WithClientOptions forwards options (poll interval, retry policy, HTTP
+// client) to every per-backend client the Pool constructs.
+func WithClientOptions(opts ...client.Option) Option {
+	return func(s *settings) { s.clientOpts = append(s.clientOpts, opts...) }
+}
+
+// WithShardTrials sets how many trials each estimate sub-job carries
+// (<= 0 restores the default: the trial range splits into about four
+// shards per backend, so a straggling backend can be overtaken). The
+// shard layout never affects result bytes — only how the work spreads.
+func WithShardTrials(n int) Option { return func(s *settings) { s.shardTrials = n } }
+
+// WithMaxInFlight bounds how many sub-jobs the Pool keeps outstanding
+// across all concurrent calls (<= 0 restores the default of four per
+// backend). The bound is what keeps a huge estimate from flooding every
+// backend's submission queue at once.
+func WithMaxInFlight(n int) Option { return func(s *settings) { s.maxInFlight = n } }
+
+// WithAttempts sets how many backends a failing sub-job is tried on
+// before the request fails (<= 0 restores the default: the number of
+// backends plus one, so a single dead backend can never fail a
+// request). Only transient failures — network errors, 5xx responses,
+// remote cancellation — consume attempts; a deterministic job failure
+// is final immediately, because it would fail identically everywhere.
+func WithAttempts(n int) Option { return func(s *settings) { s.attempts = n } }
+
+// WithCooldown sets how long a backend that failed a sub-job is skipped
+// by selection (default 15s; it is still used as a last resort when
+// every backend is marked down).
+func WithCooldown(d time.Duration) Option { return func(s *settings) { s.cooldown = d } }
+
+// ParseBackends splits a comma-separated backend list — the form the
+// CLIs' -backends flag takes — into base URLs, trimming whitespace and
+// dropping empty entries.
+func ParseBackends(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// New returns a Pool over the given faultrouted base URLs, e.g.
+// []string{"http://host-a:8080", "http://host-b:8080"}. New performs no
+// I/O; use Health to probe the backends.
+func New(targets []string, opts ...Option) (*Pool, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("dispatch: no backends configured")
+	}
+	s := settings{cooldown: 15 * time.Second}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if s.maxInFlight <= 0 {
+		s.maxInFlight = 4 * len(targets)
+	}
+	if s.attempts <= 0 {
+		s.attempts = len(targets) + 1
+	}
+	p := &Pool{
+		backends:    make([]*backend, len(targets)),
+		sem:         make(chan struct{}, s.maxInFlight),
+		shardTrials: s.shardTrials,
+		attempts:    s.attempts,
+		cooldown:    s.cooldown,
+	}
+	for i, url := range targets {
+		p.backends[i] = &backend{url: url, c: client.New(url, s.clientOpts...)}
+	}
+	return p, nil
+}
+
+// Compile-time check: a Pool is interchangeable with Local and Client.
+var _ api.Runner = (*Pool)(nil)
+
+// Backends returns the configured base URLs, in selection order.
+func (p *Pool) Backends() []string {
+	out := make([]string, len(p.backends))
+	for i, b := range p.backends {
+		out[i] = b.url
+	}
+	return out
+}
+
+// BackendHealth is one backend's probe result from Health.
+type BackendHealth struct {
+	// URL is the backend's base URL.
+	URL string
+	// Err is nil when the backend answered its health endpoint.
+	Err error
+	// Health is the backend's report, meaningful when Err is nil.
+	Health api.Health
+}
+
+// Health probes every backend's /v1/healthz concurrently and returns
+// the reports in configuration order. Unreachable backends are marked
+// down (entering the selection cooldown), so a Health call doubles as a
+// way to warm the Pool's view of the cluster before dispatching.
+func (p *Pool) Health(ctx context.Context) []BackendHealth {
+	out := make([]BackendHealth, len(p.backends))
+	var wg sync.WaitGroup
+	for i, b := range p.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			h, err := b.c.Health(ctx)
+			out[i] = BackendHealth{URL: b.url, Err: err, Health: h}
+			// A probe that died because the CALLER's context expired says
+			// nothing about the backend — marking the whole cluster down
+			// off a canceled warm-up would poison selection for a cooldown.
+			if err != nil && ctx.Err() == nil {
+				b.markDown(p.cooldown)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+// Do executes the request across the pool and returns its canonical
+// result — byte-identical to faultroute.Local for the same request.
+func (p *Pool) Do(ctx context.Context, req api.Request) (api.Result, error) {
+	return p.run(ctx, req, nil)
+}
+
+// Watch is Do with aggregated progress events: onEvent observes a
+// leading running event, monotonically non-decreasing running counters
+// summed across every sub-job (re-dispatched shards never move the sum
+// backwards), and a trailing done event. Events may arrive from
+// internal goroutines but are delivered sequentially.
+func (p *Pool) Watch(ctx context.Context, req api.Request, onEvent func(api.Event)) (api.Result, error) {
+	return p.run(ctx, req, onEvent)
+}
+
+// DoBatch executes many requests concurrently across the pool, results
+// in request order. Each result is byte-identical to Do of the same
+// request; the pool-wide in-flight bound keeps a large batch from
+// flooding the backends. The first error cancels the rest of the batch.
+func (p *Pool) DoBatch(ctx context.Context, reqs []api.Request) ([]api.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]api.Result, len(reqs))
+	var (
+		fail  sync.Once
+		cause error
+		wg    sync.WaitGroup
+	)
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req api.Request) {
+			defer wg.Done()
+			res, err := p.run(ctx, req, nil)
+			if err != nil {
+				// Record the originating failure; sibling requests then die
+				// with a bare "context canceled" that must not mask it.
+				fail.Do(func() { cause = err; cancel() })
+				return
+			}
+			out[i] = res
+		}(i, req)
+	}
+	wg.Wait()
+	if cause != nil {
+		return nil, cause
+	}
+	return out, nil
+}
+
+// run compiles the request locally (the Pool validates and normalizes
+// with the same codec every backend uses), then either shards it or
+// dispatches it whole.
+func (p *Pool) run(ctx context.Context, req api.Request, onEvent func(api.Event)) (api.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plan, err := api.Compile(req)
+	if err != nil {
+		return api.Result{}, err
+	}
+	norm := plan.Request
+	agg := newAggregator(onEvent, plan.Total)
+	agg.start()
+	var res api.Result
+	if ranges := p.shardRanges(norm); len(ranges) > 1 {
+		res, err = p.runSharded(ctx, norm, plan.Key, ranges, agg)
+	} else {
+		res, err = p.dispatch(ctx, norm, 0, agg)
+	}
+	if err != nil {
+		return api.Result{}, err
+	}
+	agg.finish()
+	return res, nil
+}
+
+// shardRanges returns the trial ranges the request splits into, or nil
+// when the request dispatches whole (non-estimates, sub-jobs already
+// carrying a shard, and schedules too small to be worth splitting).
+func (p *Pool) shardRanges(norm api.Request) []api.ShardSpec {
+	if norm.Kind != api.KindEstimate || norm.Estimate == nil || norm.Estimate.Shard != nil {
+		return nil
+	}
+	trials := norm.Estimate.Trials
+	size := p.shardTrials
+	if size <= 0 {
+		// Aim for ~4 shards per backend so a slow backend's share can be
+		// overtaken by the others, without drowning in per-job overhead.
+		size = (trials + 4*len(p.backends) - 1) / (4 * len(p.backends))
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size >= trials {
+		return nil
+	}
+	ranges := make([]api.ShardSpec, 0, (trials+size-1)/size)
+	for off := 0; off < trials; off += size {
+		n := size
+		if off+n > trials {
+			n = trials - off
+		}
+		ranges = append(ranges, api.ShardSpec{Offset: off, Count: n})
+	}
+	return ranges
+}
+
+// runSharded fans the estimate's trial ranges out as concurrent
+// sub-jobs and merges the rows back into the parent's canonical bytes.
+func (p *Pool) runSharded(ctx context.Context, norm api.Request, key string, ranges []api.ShardSpec, agg *aggregator) (api.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	shards := make([]api.ShardResult, len(ranges))
+	// The first failing shard is the cause; its siblings then die with
+	// "context canceled", which must never mask the real error.
+	var (
+		fail  sync.Once
+		cause error
+		wg    sync.WaitGroup
+	)
+	abort := func(err error) {
+		fail.Do(func() { cause = err; cancel() })
+	}
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r api.ShardSpec) {
+			defer wg.Done()
+			spec := *norm.Estimate
+			spec.Shard = &r
+			sub := api.Request{Kind: api.KindEstimate, Estimate: &spec, Workers: norm.Workers}
+			res, err := p.dispatch(ctx, sub, i, agg)
+			if err == nil {
+				shards[i], err = mustShard(res, r)
+			}
+			if err != nil {
+				abort(err)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	if cause != nil {
+		return api.Result{}, cause
+	}
+	body, err := api.MergeShards(shards)
+	if err != nil {
+		return api.Result{}, err
+	}
+	return api.Result{Kind: norm.Kind, Key: key, Body: body}, nil
+}
+
+// mustShard decodes a sub-job result's per-trial rows and verifies they
+// are exactly the range that was requested. MergeShards only checks
+// contiguity from trial 0, so without this a short (or shifted) shard
+// from a version-skewed backend would merge silently into wrong bytes
+// under the parent's content address.
+func mustShard(res api.Result, want api.ShardSpec) (api.ShardResult, error) {
+	sr, err := res.Shard()
+	if err != nil {
+		return api.ShardResult{}, fmt.Errorf("dispatch: decoding shard result: %w", err)
+	}
+	if sr.Offset != want.Offset || len(sr.Rows) != want.Count {
+		return api.ShardResult{}, fmt.Errorf(
+			"dispatch: backend returned shard [offset %d, %d rows], want [offset %d, %d rows]",
+			sr.Offset, len(sr.Rows), want.Offset, want.Count)
+	}
+	return sr, nil
+}
+
+// dispatch runs one sub-job to completion on some backend, failing over
+// to others on transient errors. slot identifies the sub-job to the
+// progress aggregator. The call holds one in-flight token for its whole
+// duration (submit, poll, fetch, retries).
+func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *aggregator) (api.Result, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return api.Result{}, ctx.Err()
+	}
+	defer func() { <-p.sem }()
+
+	var lastErr error
+	tried := make(map[*backend]bool, p.attempts)
+	for attempt := 0; attempt < p.attempts; attempt++ {
+		b := p.pick(tried)
+		tried[b] = true
+		// Fold every sub-job counter into the aggregate, terminal events
+		// included (a fast sub-job may finish between two polls, so its
+		// only observed event is the terminal one); the aggregator owns
+		// the pool-level running/done state transitions.
+		res, err := b.c.Watch(ctx, req, func(ev api.Event) {
+			agg.observe(slot, ev.Done)
+		})
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return api.Result{}, ctx.Err()
+		}
+		if !failoverable(err) {
+			return api.Result{}, err
+		}
+		b.markDown(p.cooldown)
+		lastErr = err
+	}
+	return api.Result{}, fmt.Errorf("dispatch: sub-job failed on %d backend(s): %w", len(tried), lastErr)
+}
+
+// pick selects the next backend round-robin, preferring backends that
+// are up and untried this sub-job, then untried ones still in cooldown
+// (a fresh chance beats a backend that just failed THIS sub-job), then
+// up-but-already-tried ones; a fully down, fully tried pool still
+// yields a backend (the caller's attempt budget is the real bound).
+func (p *Pool) pick(tried map[*backend]bool) *backend {
+	start := int(p.rr.Add(1) - 1)
+	n := len(p.backends)
+	var fallbackUp, fallbackUntried *backend
+	for i := 0; i < n; i++ {
+		b := p.backends[(start+i)%n]
+		up, fresh := b.up(), !tried[b]
+		switch {
+		case up && fresh:
+			return b
+		case up && fallbackUp == nil:
+			fallbackUp = b
+		case fresh && fallbackUntried == nil:
+			fallbackUntried = b
+		}
+	}
+	if fallbackUntried != nil {
+		return fallbackUntried
+	}
+	if fallbackUp != nil {
+		return fallbackUp
+	}
+	return p.backends[start%n]
+}
+
+// failoverable classifies a sub-job failure: transient failures are
+// worth re-dispatching to another backend, deterministic ones would
+// fail identically everywhere and are final.
+func failoverable(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	var jobErr *client.JobError
+	if errors.As(err, &jobErr) {
+		// A remotely canceled job (backend shutting down, operator
+		// intervention) recomputes cleanly elsewhere; a failed job ran its
+		// deterministic task to an error and would fail again.
+		return jobErr.Status.State == api.JobCanceled
+	}
+	// Network errors, truncated responses, decode failures: transient.
+	return true
+}
+
+// aggregator serializes progress events across sub-job watchers and
+// keeps the summed counter monotone: each slot contributes the maximum
+// Done it has ever reported, so a shard restarting on another backend
+// (from zero) never moves the total backwards.
+type aggregator struct {
+	onEvent func(api.Event)
+	total   int64
+
+	mu   sync.Mutex
+	done map[int]int64
+	sum  int64
+}
+
+func newAggregator(onEvent func(api.Event), total int64) *aggregator {
+	return &aggregator{onEvent: onEvent, total: total, done: make(map[int]int64)}
+}
+
+// start emits the leading running event.
+func (a *aggregator) start() {
+	if a.onEvent == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onEvent(api.Event{State: api.JobRunning, Done: 0, Total: a.total})
+}
+
+// observe folds one sub-job's running counter into the sum.
+func (a *aggregator) observe(slot int, done int64) {
+	if a.onEvent == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if done <= a.done[slot] {
+		return
+	}
+	a.sum += done - a.done[slot]
+	a.done[slot] = done
+	a.onEvent(api.Event{State: api.JobRunning, Done: a.sum, Total: a.total})
+}
+
+// finish emits the trailing done event.
+func (a *aggregator) finish() {
+	if a.onEvent == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onEvent(api.Event{State: api.JobDone, Done: a.sum, Total: a.total})
+}

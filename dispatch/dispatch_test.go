@@ -1,0 +1,344 @@
+package dispatch_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faultroute"
+	"faultroute/api"
+	"faultroute/client"
+	"faultroute/dispatch"
+	"faultroute/serve"
+)
+
+// testBackend is one in-process faultrouted service on a loopback port.
+type testBackend struct {
+	svc *serve.Service
+	srv *httptest.Server
+}
+
+func (b *testBackend) close() {
+	b.srv.Close()
+	b.svc.Close()
+}
+
+// newBackend boots a backend, optionally wrapping its handler.
+func newBackend(t *testing.T, wrap func(http.Handler) http.Handler) *testBackend {
+	t.Helper()
+	svc := serve.New(serve.Options{Executors: 2, Workers: 2})
+	h := http.Handler(svc.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	b := &testBackend{svc: svc, srv: httptest.NewServer(h)}
+	t.Cleanup(b.close)
+	return b
+}
+
+// fastOpts keeps test dispatches snappy: tight polling, minimal backoff.
+func fastOpts(extra ...dispatch.Option) []dispatch.Option {
+	return append([]dispatch.Option{
+		dispatch.WithClientOptions(
+			client.WithPollInterval(2*time.Millisecond),
+			client.WithRetry(1, time.Millisecond),
+		),
+		dispatch.WithCooldown(time.Minute),
+	}, extra...)
+}
+
+func newPool(t *testing.T, urls []string, opts ...dispatch.Option) *dispatch.Pool {
+	t.Helper()
+	p, err := dispatch.New(urls, fastOpts(opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// estimateReq is the shared estimate workload of the identity tests.
+func estimateReq(trials int) api.Request {
+	return api.Request{
+		Kind: api.KindEstimate,
+		Estimate: &api.EstimateSpec{
+			Graph:  api.GraphSpec{Family: "hypercube", N: 7},
+			P:      0.6,
+			Trials: trials,
+			Seed:   3,
+		},
+	}
+}
+
+func TestNewRejectsEmptyBackendList(t *testing.T) {
+	if _, err := dispatch.New(nil); err == nil {
+		t.Fatal("New accepted an empty backend list")
+	}
+}
+
+func TestPoolShardedEstimateByteIdenticalToLocal(t *testing.T) {
+	b1, b2 := newBackend(t, nil), newBackend(t, nil)
+	pool := newPool(t, []string{b1.srv.URL, b2.srv.URL}, dispatch.WithShardTrials(4))
+	ctx := context.Background()
+
+	req := estimateReq(30)
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != want.Key {
+		t.Fatalf("pool key %s != local key %s", got.Key, want.Key)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("pool bytes differ from local:\n got %s\nwant %s", got.Body, want.Body)
+	}
+}
+
+func TestPoolExperimentsByteIdenticalToLocal(t *testing.T) {
+	// The acceptance pin: E1/E3/E7 through a 2-backend pool are
+	// byte-identical to faultroute.Local (and therefore to
+	// `routebench -exp <id> -format json`).
+	b1, b2 := newBackend(t, nil), newBackend(t, nil)
+	pool := newPool(t, []string{b1.srv.URL, b2.srv.URL})
+	local := faultroute.NewLocal()
+	ctx := context.Background()
+	for _, id := range []string{"E1", "E3", "E7"} {
+		req := api.Request{
+			Kind:       api.KindExperiment,
+			Experiment: &api.ExperimentSpec{ID: id, Seed: 1, Scale: "quick"},
+		}
+		want, err := local.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("%s local: %v", id, err)
+		}
+		got, err := pool.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("%s pool: %v", id, err)
+		}
+		if !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("%s: pool bytes differ from local:\n got %s\nwant %s", id, got.Body, want.Body)
+		}
+	}
+}
+
+func TestPoolPercolationByteIdenticalToLocal(t *testing.T) {
+	b1, b2 := newBackend(t, nil), newBackend(t, nil)
+	pool := newPool(t, []string{b1.srv.URL, b2.srv.URL})
+	ctx := context.Background()
+	req := api.Request{
+		Kind: api.KindPercolation,
+		Percolation: &api.PercolationSpec{
+			Graph:  api.GraphSpec{Family: "mesh", Side: 8},
+			Ps:     []float64{0.3, 0.5, 0.7},
+			Trials: 4,
+		},
+	}
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("pool bytes differ from local:\n got %s\nwant %s", got.Body, want.Body)
+	}
+}
+
+// failAfter wraps a handler so that once `limit` requests have been
+// served, every later request aborts its connection — the HTTP shape of
+// a backend crashing mid-run.
+func failAfter(limit int64) func(http.Handler) http.Handler {
+	var served atomic.Int64
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if served.Add(1) > limit {
+				panic(http.ErrAbortHandler)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+func TestPoolFailoverAfterBackendDiesMidRun(t *testing.T) {
+	// One backend serves a handful of requests and then drops every
+	// connection: shards assigned to it (including ones it had started)
+	// must be re-dispatched to the survivor, and the merged result must
+	// still be byte-identical to Local.
+	healthy := newBackend(t, nil)
+	dying := newBackend(t, failAfter(3))
+	pool := newPool(t, []string{dying.srv.URL, healthy.srv.URL}, dispatch.WithShardTrials(4))
+	ctx := context.Background()
+
+	req := estimateReq(40)
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("post-failover bytes differ from local:\n got %s\nwant %s", got.Body, want.Body)
+	}
+}
+
+func TestPoolFailoverExperimentWholeJob(t *testing.T) {
+	// Whole-job dispatches (experiments) fail over too: a backend that
+	// dies after accepting the job loses it to the survivor.
+	healthy := newBackend(t, nil)
+	dying := newBackend(t, failAfter(2))
+	// Two attempts: the dying backend first (cursor starts there), then
+	// the survivor.
+	pool := newPool(t, []string{dying.srv.URL, healthy.srv.URL})
+	ctx := context.Background()
+	req := api.Request{
+		Kind:       api.KindExperiment,
+		Experiment: &api.ExperimentSpec{ID: "E1", Seed: 1, Scale: "quick"},
+	}
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("failover experiment bytes differ from local")
+	}
+}
+
+func TestPoolFailsWhenEveryBackendIsDown(t *testing.T) {
+	dead1 := newBackend(t, failAfter(0))
+	dead2 := newBackend(t, failAfter(0))
+	pool := newPool(t, []string{dead1.srv.URL, dead2.srv.URL})
+	if _, err := pool.Do(context.Background(), estimateReq(8)); err == nil {
+		t.Fatal("Do succeeded with every backend down")
+	}
+}
+
+func TestPoolRejectsInvalidRequestLocally(t *testing.T) {
+	// Validation happens in the Pool's own Compile — no backend round
+	// trip, so even a fully dead cluster rejects garbage crisply.
+	dead := newBackend(t, failAfter(0))
+	pool := newPool(t, []string{dead.srv.URL})
+	req := estimateReq(8)
+	req.Estimate.P = 1.5
+	if _, err := pool.Do(context.Background(), req); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+}
+
+func TestPoolWatchAggregatesMonotoneProgress(t *testing.T) {
+	b1, b2 := newBackend(t, nil), newBackend(t, nil)
+	pool := newPool(t, []string{b1.srv.URL, b2.srv.URL}, dispatch.WithShardTrials(5))
+	var (
+		mu     sync.Mutex
+		events []api.Event
+	)
+	req := estimateReq(20)
+	res, err := pool.Watch(context.Background(), req, func(ev api.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Body) == 0 {
+		t.Fatal("empty result body")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) < 2 {
+		t.Fatalf("want leading+trailing events at least, got %d", len(events))
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.State != api.JobRunning || first.Done != 0 {
+		t.Fatalf("leading event = %+v, want running/0", first)
+	}
+	if last.State != api.JobDone || last.Done != 20 || last.Total != 20 {
+		t.Fatalf("trailing event = %+v, want done 20/20", last)
+	}
+	var prev int64 = -1
+	for _, ev := range events {
+		if ev.Done < prev {
+			t.Fatalf("progress went backwards: %d after %d", ev.Done, prev)
+		}
+		prev = ev.Done
+	}
+}
+
+func TestPoolDoBatchMatchesIndividualDo(t *testing.T) {
+	b1, b2 := newBackend(t, nil), newBackend(t, nil)
+	pool := newPool(t, []string{b1.srv.URL, b2.srv.URL}, dispatch.WithShardTrials(3))
+	ctx := context.Background()
+	reqs := []api.Request{estimateReq(9), estimateReq(12), estimateReq(15)}
+	got, err := pool.DoBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := faultroute.NewLocal()
+	for i, req := range reqs {
+		want, err := local.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[i].Body, want.Body) {
+			t.Fatalf("batch result %d differs from local", i)
+		}
+	}
+}
+
+func TestPoolHealthReportsPerBackend(t *testing.T) {
+	up := newBackend(t, nil)
+	down := newBackend(t, failAfter(0))
+	pool := newPool(t, []string{up.srv.URL, down.srv.URL})
+	hs := pool.Health(context.Background())
+	if len(hs) != 2 {
+		t.Fatalf("want 2 reports, got %d", len(hs))
+	}
+	if hs[0].Err != nil || !hs[0].Health.OK {
+		t.Fatalf("healthy backend reported unhealthy: %+v", hs[0])
+	}
+	if hs[1].Err == nil {
+		t.Fatal("dead backend reported healthy")
+	}
+	if got := pool.Backends(); got[0] != up.srv.URL || got[1] != down.srv.URL {
+		t.Fatalf("Backends() = %v", got)
+	}
+}
+
+func TestPoolDeterministicJobFailureIsFinal(t *testing.T) {
+	// A spec that fails deterministically (conditioning never succeeds)
+	// must NOT burn failover attempts: the error comes back as a job
+	// failure, not an exhausted-backends error.
+	b := newBackend(t, nil)
+	pool := newPool(t, []string{b.srv.URL})
+	req := estimateReq(4)
+	req.Estimate.P = 0 // no edges survive: {src ~ dst} never holds
+	req.Estimate.MaxTries = 1
+	_, err := pool.Do(context.Background(), req)
+	if err == nil {
+		t.Fatal("expected a deterministic failure")
+	}
+	var jobErr *client.JobError
+	if !errors.As(err, &jobErr) {
+		t.Fatalf("want a JobError, got %T: %v", err, err)
+	}
+	if jobErr.Status.State != api.JobFailed {
+		t.Fatalf("job state = %s, want failed", jobErr.Status.State)
+	}
+}

@@ -1,0 +1,62 @@
+package faultroute_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"faultroute"
+	"faultroute/api"
+)
+
+// ExampleLocal_Estimate measures a routing-complexity distribution
+// through the options-configured in-process runner: the typed fast path
+// for callers that already hold a constructed Graph and Router.
+func ExampleLocal_Estimate() {
+	g, err := faultroute.NewHypercube(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := faultroute.Spec{
+		Graph:  g,
+		P:      0.6,
+		Router: faultroute.NewPathFollowRouter(),
+		Mode:   faultroute.ModeLocal,
+	}
+	// Results are bit-identical for every worker count — WithWorkers
+	// only sets how fast they arrive.
+	local := faultroute.NewLocal(faultroute.WithWorkers(2))
+	c, err := local.Estimate(context.Background(), spec, 0, g.Antipode(0), 20, 100, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trials=%d median=%.1f\n", c.Trials, c.Median)
+	// Output:
+	// trials=20 median=136.0
+}
+
+// ExampleLocal_Do executes a wire request — the same submission type a
+// faultrouted daemon accepts — and decodes the canonical result bytes.
+func ExampleLocal_Do() {
+	local := faultroute.NewLocal()
+	res, err := local.Do(context.Background(), api.Request{
+		Kind: api.KindEstimate,
+		Estimate: &api.EstimateSpec{
+			Graph:  api.GraphSpec{Family: "hypercube", N: 8},
+			P:      0.6,
+			Trials: 20,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := res.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// res.Key is the content address a daemon would cache the bytes
+	// under; res.Body is byte-identical to that cache entry.
+	fmt.Printf("trials=%d median=%.1f\n", c.Trials, c.Median)
+	// Output:
+	// trials=20 median=136.0
+}

@@ -266,23 +266,39 @@ func EstimateWorkers(spec Spec, src, dst graph.Vertex, trials, maxTries int, see
 // trial. Neither affects the numbers: a run that completes is
 // bit-identical to Estimate with the same arguments.
 func EstimateCtx(ctx context.Context, spec Spec, src, dst graph.Vertex, trials, maxTries int, seed uint64, workers int, progress runner.Progress) (Complexity, error) {
-	if err := spec.validate(); err != nil {
-		return Complexity{}, err
-	}
-	if trials <= 0 {
-		return Complexity{}, errors.New("core: trials must be positive")
-	}
-	if maxTries <= 0 {
-		maxTries = 100
-	}
-	results, err := runner.MapCtx(ctx, runner.New(workers), trials, progress, func(trial int) (TrialResult, error) {
-		r := EstimateTrial(spec, src, dst, trial, maxTries, seed)
-		return r, r.Err
-	})
+	results, err := EstimateShardCtx(ctx, spec, src, dst, 0, trials, maxTries, seed, workers, progress)
 	if err != nil {
 		return Complexity{}, err
 	}
 	return MergeTrials(results)
+}
+
+// EstimateShardCtx computes the raw per-trial results of trials
+// [offset, offset+count) of the estimate that EstimateCtx(spec, src,
+// dst, trials, ...) runs over [0, trials). Trial number offset+i still
+// derives its randomness from (seed, offset+i), so the rows returned
+// here are exactly the rows a full run would produce for the same
+// indices — which is what lets a distributed runner fan disjoint ranges
+// out to different machines and fold them back with MergeTrials into a
+// result bit-identical to a single-machine run. count bounds the work of
+// THIS call; the caller owns the overall schedule.
+func EstimateShardCtx(ctx context.Context, spec Spec, src, dst graph.Vertex, offset, count, maxTries int, seed uint64, workers int, progress runner.Progress) ([]TrialResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if offset < 0 {
+		return nil, errors.New("core: trial offset must be non-negative")
+	}
+	if count <= 0 {
+		return nil, errors.New("core: trials must be positive")
+	}
+	if maxTries <= 0 {
+		maxTries = 100
+	}
+	return runner.MapCtx(ctx, runner.New(workers), count, progress, func(i int) (TrialResult, error) {
+		r := EstimateTrial(spec, src, dst, offset+i, maxTries, seed)
+		return r, r.Err
+	})
 }
 
 // Request is one Estimate submission within a batch: a spec, a vertex

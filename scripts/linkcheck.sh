@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# linkcheck.sh — docs drift gate for in-repo markdown links.
+#
+# Every relative link target in the repo's markdown files must exist on
+# disk: a renamed file or a moved doc otherwise rots silently until a
+# reader hits the 404. External (http/mailto) links and pure #anchors
+# are out of scope — only the repo's own file graph is checked.
+#
+#   scripts/linkcheck.sh          check and report; nonzero exit on rot
+set -eu
+cd "$(dirname "$0")/.."
+
+# The check loop runs in pipeline subshells, so broken links are
+# recorded in a scratch file rather than a shell variable.
+workfile=$(mktemp)
+trap 'rm -f "$workfile"' EXIT
+
+for f in $(find . -name '*.md' -not -path './.git/*'); do
+    dir=$(dirname "$f")
+    # Extract [text](target) link targets, one per line — no shell word
+    # splitting, so a `[x](file.md "Title")` form stays intact.
+    grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/^.*(\(.*\))$/\1/' |
+        while IFS= read -r link; do
+            case "$link" in
+            http://* | https://* | mailto:* | \#* | '') continue ;;
+            esac
+            target=${link%%#*}     # file part; anchors are not checked
+            target=${target%% \"*} # drop an optional "Title" suffix
+            [ -z "$target" ] && continue
+            if [ ! -e "$dir/$target" ]; then
+                echo "linkcheck: $f links to $link but $dir/$target does not exist" >&2
+                echo broken >>"$workfile"
+            fi
+        done
+done
+
+if [ -s "$workfile" ]; then
+    echo "linkcheck: broken in-repo markdown links (see above)" >&2
+    exit 1
+fi
+echo "linkcheck: all in-repo markdown links resolve"

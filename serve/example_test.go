@@ -1,0 +1,55 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"faultroute/api"
+	"faultroute/serve"
+)
+
+// ExampleService embeds the faultrouted HTTP service in a program: New
+// wires the job engine and result cache, Handler mounts the full JSON
+// API on any server. cmd/faultrouted is exactly this plus flags.
+func ExampleService() {
+	svc := serve.New(serve.Options{Executors: 1, Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Submit a job the way any HTTP client would.
+	resp, err := http.Post(srv.URL+api.BasePath+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"estimate","estimate":{
+			"graph":{"family":"hypercube","n":8},"p":0.6,"trials":20}}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		log.Fatal(err)
+	}
+	// (The job may already be running — or done — by the time the
+	// submit response is snapshotted, so print only the stable fields.)
+	fmt.Printf("accepted=%v total=%d\n",
+		resp.StatusCode == http.StatusAccepted, sub.Job.Total)
+
+	// Liveness + cache statistics.
+	health, err := http.Get(srv.URL + api.BasePath + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer health.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(health.Body).Decode(&h); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ok=%v\n", h.OK)
+	// Output:
+	// accepted=true total=20
+	// ok=true
+}

@@ -80,6 +80,8 @@ func (s *Service) Store() *cache.Store { return s.store }
 // Handler returns the API surface:
 //
 //	POST   /v1/jobs          submit an estimate, experiment or percolation job
+//	                         (estimate jobs may carry a shard: a trial-range
+//	                         sub-job of a distributed dispatch, see SERVING.md)
 //	GET    /v1/jobs/{id}     job state + progress counters
 //	DELETE /v1/jobs/{id}     cancel a queued or running job (409 once finished)
 //	GET    /v1/results/{key} canonical result bytes for a content address

@@ -1,0 +1,95 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"faultroute/api"
+)
+
+// TestShardSubJobsOverHTTP exercises the serving side of distributed
+// dispatch: trial-range sub-jobs are ordinary jobs to the daemon —
+// accepted, executed, cached and served under their own content
+// addresses — and a covering set of served shard bodies merges into
+// exactly the bytes the unsharded job computes.
+func TestShardSubJobsOverHTTP(t *testing.T) {
+	ts := newTestServer(t, 2)
+
+	submit := func(shard *api.ShardSpec) api.Result {
+		t.Helper()
+		spec := api.EstimateSpec{
+			Graph:  api.GraphSpec{Family: "hypercube", N: 6},
+			P:      0.6,
+			Trials: 10,
+			Seed:   5,
+			Shard:  shard,
+		}
+		payload, err := json.Marshal(api.Request{Kind: api.KindEstimate, Estimate: &spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := string(payload)
+		var sub api.SubmitResponse
+		status := doJSON(t, http.MethodPost, ts.URL+api.BasePath+"/jobs", req, &sub)
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("submit status %d", status)
+		}
+		st := awaitJob(t, ts.URL, sub.Job.ID)
+		if st.State != api.JobDone {
+			t.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		resp, err := http.Get(ts.URL + api.BasePath + "/results/" + st.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return api.Result{Kind: api.KindEstimate, Key: st.Key, Body: buf.Bytes()}
+	}
+
+	whole := submit(nil)
+	a := submit(&api.ShardSpec{Offset: 0, Count: 4})
+	b := submit(&api.ShardSpec{Offset: 4, Count: 6})
+
+	if a.Key == whole.Key || b.Key == whole.Key || a.Key == b.Key {
+		t.Fatalf("sub-jobs must have their own content addresses: whole=%s a=%s b=%s", whole.Key, a.Key, b.Key)
+	}
+
+	sa, err := a.Shard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Shard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.Rows) != 4 || len(sb.Rows) != 6 {
+		t.Fatalf("shard row counts %d/%d, want 4/6", len(sa.Rows), len(sb.Rows))
+	}
+	merged, err := api.MergeShards([]api.ShardResult{sb, sa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, whole.Body) {
+		t.Fatalf("merged shard bytes differ from the whole job:\n got %s\nwant %s", merged, whole.Body)
+	}
+}
+
+// TestShardSubJobRejectedWithBadRange pins the HTTP-level validation of
+// the shard extension: an out-of-range sub-job is a 400, never enqueued.
+func TestShardSubJobRejectedWithBadRange(t *testing.T) {
+	ts := newTestServer(t, 1)
+	body := `{"kind":"estimate","estimate":{"graph":{"family":"hypercube","n":4},"p":0.5,"trials":5,"shard":{"offset":4,"count":3}}}`
+	var eb api.ErrorBody
+	if status := doJSON(t, http.MethodPost, ts.URL+api.BasePath+"/jobs", body, &eb); status != http.StatusBadRequest {
+		t.Fatalf("submit status %d, want 400", status)
+	}
+	if eb.Error == "" {
+		t.Fatal("400 without an error body")
+	}
+}
