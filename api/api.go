@@ -202,6 +202,12 @@ type SubmitResponse struct {
 	// Coalesced reports that an identical job was already in flight and
 	// this submission attached to it.
 	Coalesced bool `json:"coalesced"`
+	// Events, when non-empty, advertises the job's Server-Sent-Events
+	// progress stream: the path of GET /v1/jobs/{id}/events. Clients
+	// that understand it subscribe instead of polling; a daemon that
+	// predates the stream simply omits the field and clients fall back
+	// to polling (see client.WithSSE).
+	Events string `json:"events,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope of every non-2xx response.

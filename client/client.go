@@ -40,6 +40,7 @@ type Client struct {
 	poll       time.Duration
 	retries    int
 	backoff    time.Duration
+	sse        bool
 	jitterSalt uint64
 }
 
@@ -55,8 +56,20 @@ type Option func(*Client)
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
 // WithPollInterval sets how often Do and Watch poll a running job's
-// status (default 100ms).
+// status (default 100ms). Polling is the fallback transport: when the
+// daemon advertises its Server-Sent-Events progress stream the client
+// subscribes to that instead, and the interval only matters if the
+// stream is unavailable or dies mid-job.
 func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// WithSSE toggles the Server-Sent-Events upgrade (default true): when
+// enabled and the daemon advertises a progress stream, Do and Watch
+// subscribe to GET /v1/jobs/{id}/events instead of polling, falling
+// back to polling if the stream is unavailable or disconnects
+// mid-job. The transport never affects result bytes — an SSE watch
+// and a polling watch of the same job observe equivalent deduplicated
+// event sequences and fetch identical results.
+func WithSSE(enabled bool) Option { return func(c *Client) { c.sse = enabled } }
 
 // WithRetry sets the transient-failure policy: up to retries extra
 // attempts with exponential backoff starting at base (defaults: 3 and
@@ -76,6 +89,7 @@ func New(base string, opts ...Option) *Client {
 		poll:    100 * time.Millisecond,
 		retries: 3,
 		backoff: 100 * time.Millisecond,
+		sse:     true,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -131,12 +145,31 @@ func (c *Client) run(ctx context.Context, req api.Request, onEvent func(api.Even
 		return api.Result{}, err
 	}
 	st := sub.Job
+	last := api.Event{State: st.State, Done: st.Done, Total: st.Total}
 	if onEvent != nil {
-		onEvent(api.Event{State: st.State, Done: st.Done, Total: st.Total})
+		onEvent(last)
 	}
 	if !st.State.Terminal() {
-		if st, err = c.await(ctx, st, onEvent); err != nil {
-			return api.Result{}, err
+		// Transport upgrade: subscribe to the daemon's SSE progress
+		// stream when it advertises one, falling back to polling if the
+		// stream is refused or dies mid-job. Both paths share the dedup
+		// state (`last`), so a mid-stream fallback continues the one
+		// deduplicated, monotone event sequence seamlessly.
+		streamed := false
+		if c.sse && sub.Events != "" {
+			var fin api.JobStatus
+			fin, streamed, err = c.watchEvents(ctx, sub.Events, st.ID, &last, onEvent)
+			if err != nil {
+				return api.Result{}, err
+			}
+			if streamed {
+				st = fin
+			}
+		}
+		if !streamed {
+			if st, err = c.await(ctx, st, &last, onEvent); err != nil {
+				return api.Result{}, err
+			}
 		}
 	}
 	if st.State != api.JobDone {
@@ -150,27 +183,37 @@ func (c *Client) run(ctx context.Context, req api.Request, onEvent func(api.Even
 }
 
 // await polls the job until it is terminal, emitting deduplicated
-// progress events along the way.
-func (c *Client) await(ctx context.Context, st api.JobStatus, onEvent func(api.Event)) (api.JobStatus, error) {
-	last := api.Event{State: st.State, Done: st.Done, Total: st.Total}
+// progress events along the way. last is the shared dedup state — the
+// most recent event already delivered (by the submit response, an SSE
+// stream that died mid-job, or a previous poll).
+func (c *Client) await(ctx context.Context, st api.JobStatus, last *api.Event, onEvent func(api.Event)) (api.JobStatus, error) {
+	// One reused timer for the whole poll loop: time.After allocates a
+	// new timer per tick, which at aggressive WithPollInterval settings
+	// (dispatch pools watch many sub-jobs at once) churns measurable
+	// garbage for no benefit.
+	timer := time.NewTimer(c.poll)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
-		case <-time.After(c.poll):
+		case <-timer.C:
 		}
 		cur, err := c.Status(ctx, st.ID)
 		if err != nil {
 			return st, err
 		}
 		ev := api.Event{State: cur.State, Done: cur.Done, Total: cur.Total}
-		if onEvent != nil && ev != last {
-			onEvent(ev)
-			last = ev
+		if ev != *last {
+			*last = ev
+			if onEvent != nil {
+				onEvent(ev)
+			}
 		}
 		if cur.State.Terminal() {
 			return cur, nil
 		}
+		timer.Reset(c.poll)
 	}
 }
 

@@ -6,12 +6,15 @@
 //
 // API (see SERVING.md for the full reference):
 //
-//	POST   /v1/jobs          submit an estimate, experiment or percolation job
-//	GET    /v1/jobs/{id}     job state + progress counters
-//	DELETE /v1/jobs/{id}     cancel a queued or running job
-//	GET    /v1/results/{key} canonical result bytes for a content address
-//	GET    /v1/experiments   the E1..E18 registry with parameter schemas
-//	GET    /v1/healthz       liveness + cache statistics
+//	POST   /v1/jobs             submit an estimate, experiment or percolation job
+//	GET    /v1/jobs/{id}        job state + progress counters
+//	GET    /v1/jobs/{id}/events Server-Sent-Events push progress stream
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/results/{key}    canonical result bytes for a content address
+//	GET    /v1/experiments      the E1..E18 registry with parameter schemas
+//	GET    /v1/healthz          liveness + cache statistics
+//	GET    /v1/metrics          Prometheus text-format metrics (queue depth,
+//	                            executor utilization, cache and job counters)
 //
 // Every job in this repo is a pure function of its normalized spec and
 // seed — bit-identical at any worker count — so results are cached
@@ -29,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,6 +65,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "default per-job trial parallelism (results are identical for any value)")
 		executors = fs.Int("executors", 2, "jobs executed concurrently")
 		depth     = fs.Int("queue", 64, "submission queue depth; submissions beyond it get 503")
+		logMode   = fs.String("log", "off", "structured request logs on stderr: text, json, or off")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,11 +73,22 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
+	var logger *slog.Logger
+	switch *logMode {
+	case "off":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		return fmt.Errorf("unknown -log mode %q (want text, json or off)", *logMode)
+	}
 
 	svc := serve.New(serve.Options{
 		Workers:    *workers,
 		Executors:  *executors,
 		QueueDepth: *depth,
+		Logger:     logger,
 	})
 	defer svc.Close()
 

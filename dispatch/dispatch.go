@@ -43,6 +43,22 @@ import (
 
 	"faultroute/api"
 	"faultroute/client"
+	"faultroute/internal/metrics"
+)
+
+// Dispatch counters, registered once in the process-wide metrics
+// registry: a Pool is not an HTTP service, so its series surface on
+// whatever /v1/metrics endpoint the process exposes (an embedded
+// serve.Service appends metrics.Process() to every scrape). Pools in
+// one process share the counters, the same way a process shares its
+// runtime metrics.
+var (
+	mSubJobs = metrics.Process().Counter("faultroute_dispatch_subjobs_total",
+		"Sub-job dispatch attempts sent to backends, re-dispatches included.")
+	mFailovers = metrics.Process().Counter("faultroute_dispatch_failovers_total",
+		"Sub-jobs re-dispatched to another backend after a transient failure.")
+	mBackendsDown = metrics.Process().Counter("faultroute_dispatch_backends_down_total",
+		"Backends marked down for a cooldown after a failed probe or sub-job.")
 )
 
 // Pool dispatches requests across a fixed set of faultrouted backends.
@@ -75,6 +91,7 @@ func (b *backend) markDown(cooldown time.Duration) {
 	b.mu.Lock()
 	b.downUntil = time.Now().Add(cooldown)
 	b.mu.Unlock()
+	mBackendsDown.Inc()
 }
 
 // up reports whether the backend is currently eligible for selection.
@@ -404,6 +421,10 @@ func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *agg
 	for attempt := 0; attempt < p.attempts; attempt++ {
 		b := p.pick(tried)
 		tried[b] = true
+		mSubJobs.Inc()
+		if attempt > 0 {
+			mFailovers.Inc()
+		}
 		// Fold every sub-job counter into the aggregate, terminal events
 		// included (a fast sub-job may finish between two polls, so its
 		// only observed event is the terminal one); the aggregator owns

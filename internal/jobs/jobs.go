@@ -138,10 +138,12 @@ func (j *Job) Status() Status {
 type Engine struct {
 	store *cache.Store
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
-	queue   chan *Job
+	baseCtx   context.Context
+	stop      context.CancelFunc
+	wg        sync.WaitGroup
+	queue     chan *Job
+	executors int
+	busy      atomic.Int64
 
 	mu        sync.Mutex
 	closed    bool
@@ -171,6 +173,7 @@ func NewEngine(store *cache.Store, executors, depth int) *Engine {
 		baseCtx:   ctx,
 		stop:      cancel,
 		queue:     make(chan *Job, depth),
+		executors: executors,
 		byID:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
 		doneByKey: make(map[string]*Job),
@@ -244,6 +247,20 @@ func (e *Engine) newJobLocked(key string, total int64) *Job {
 	e.byID[j.id] = j
 	return j
 }
+
+// QueueLen returns the number of jobs waiting in the submission queue
+// (live, for metrics).
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// QueueCap returns the submission queue's capacity.
+func (e *Engine) QueueCap() int { return cap(e.queue) }
+
+// Executors returns the size of the executor pool.
+func (e *Engine) Executors() int { return e.executors }
+
+// Busy returns the number of executors currently running a job (live,
+// for metrics; Busy/Executors is the pool's utilization).
+func (e *Engine) Busy() int64 { return e.busy.Load() }
 
 // Get returns the job with the given ID.
 func (e *Engine) Get(id string) (*Job, bool) {
@@ -327,6 +344,8 @@ func (e *Engine) run() {
 
 // execute drives one job from queued to a terminal state.
 func (e *Engine) execute(j *Job) {
+	e.busy.Add(1)
+	defer e.busy.Add(-1)
 	if err := j.ctx.Err(); err != nil {
 		e.finish(j, nil, err)
 		return

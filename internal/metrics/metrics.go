@@ -1,0 +1,403 @@
+// Package metrics is the observability substrate of the serving layer:
+// counters, gauges and histograms with Prometheus text-format
+// rendering, and nothing else — no external dependencies, no pull
+// scheduling, no label magic.
+//
+// A Registry owns a flat set of named metric families. Rendering
+// (WriteText) is deterministic: families sort by name, children of a
+// vector sort by their label values, so scrapes are stable enough to
+// assert byte-exact in tests. Metric mutation is lock-free
+// (atomic adds); registration and rendering take the registry lock.
+//
+// Two registries matter in practice: each serve.Service owns one for
+// its engine/cache/HTTP series, and Process() is the process-wide
+// registry for cross-cutting series whose owner is not a service —
+// dispatch.Pool records its failover counters there, and every
+// /v1/metrics endpoint in the process appends it to its own scrape.
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named set of metric families. Construct with
+// NewRegistry; all methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is one registered family: the metadata lines plus a closure
+// that renders its current samples.
+type entry struct {
+	name, help, typ string
+	write           func(b *bytes.Buffer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// process is the shared cross-cutting registry; see Process.
+var process = sync.OnceValue(NewRegistry)
+
+// Process returns the process-wide registry. Use it for series whose
+// natural owner is the process rather than one service instance
+// (dispatch.Pool's counters); services render it after their own
+// registry so the series appear on every scrape endpoint.
+func Process() *Registry { return process() }
+
+// register indexes a family, panicking on a duplicate name:
+// registration in this repo is static wiring, so a collision is a
+// programming error, not a runtime condition.
+func (r *Registry) register(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", e.name))
+	}
+	r.entries[e.name] = e
+}
+
+// WriteText renders every family in Prometheus text exposition format
+// (families sorted by name, vector children by label values).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*entry, len(names))
+	for i, name := range names {
+		entries[i] = r.entries[name]
+	}
+	r.mu.Unlock()
+
+	var b bytes.Buffer
+	for _, e := range entries {
+		fmt.Fprintf(&b, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.typ)
+		e.write(&b)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// escapeHelp escapes a HELP line per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label VALUE: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders `{k1="v1",k2="v2"}` for paired names and values,
+// or "" when there are none.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatFloat renders a sample value the shortest way that round-trips.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&entry{name: name, help: help, typ: "counter", write: func(b *bytes.Buffer) {
+		fmt.Fprintf(b, "%s %s\n", name, strconv.FormatUint(c.Value(), 10))
+	}})
+	return c
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// render time — for cumulative counts another layer already maintains
+// (e.g. the result cache's hit/miss totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&entry{name: name, help: help, typ: "counter", write: func(b *bytes.Buffer) {
+		fmt.Fprintf(b, "%s %s\n", name, formatFloat(fn()))
+	}})
+}
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&entry{name: name, help: help, typ: "gauge", write: func(b *bytes.Buffer) {
+		fmt.Fprintf(b, "%s %s\n", name, strconv.FormatInt(g.Value(), 10))
+	}})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at render
+// time — for live state owned elsewhere (queue depth, busy executors).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&entry{name: name, help: help, typ: "gauge", write: func(b *bytes.Buffer) {
+		fmt.Fprintf(b, "%s %s\n", name, formatFloat(fn()))
+	}})
+}
+
+// DefBuckets are the default latency histogram buckets, in seconds:
+// 1ms up to 60s on a roughly-exponential grid.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style: fixed upper bounds plus a +Inf overflow, a running sum, and a
+// total count.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Uint64 // len(uppers)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// write renders the bucket/sum/count samples. extra are pre-rendered
+// label names/values of the owning vector child (nil for a plain
+// histogram).
+func (h *Histogram) write(b *bytes.Buffer, name string, lnames, lvalues []string) {
+	// Fresh slices: appending "le" onto the caller's label slices could
+	// otherwise scribble on a sibling child's backing array.
+	bucketNames := append(append([]string(nil), lnames...), "le")
+	var cum uint64
+	for i, upper := range append(append([]float64(nil), h.uppers...), math.Inf(1)) {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			labelString(bucketNames, append(append([]string(nil), lvalues...), formatFloat(upper))), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelString(lnames, lvalues),
+		formatFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelString(lnames, lvalues), cum)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	uppers := append([]float64(nil), buckets...)
+	sort.Float64s(uppers)
+	return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&entry{name: name, help: help, typ: "histogram", write: func(b *bytes.Buffer) {
+		h.write(b, name, nil, nil)
+	}})
+	return h
+}
+
+// vec is the shared child index of the labeled metric families: one
+// child per distinct label-value tuple, keyed and rendered in sorted
+// label-value order.
+type vec[T any] struct {
+	name   string
+	labels []string
+	mk     func(values []string) T
+
+	mu       sync.Mutex
+	children map[string]T
+	keys     []string // sorted child keys
+}
+
+func newVec[T any](name string, labels []string, mk func(values []string) T) *vec[T] {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector %q needs at least one label", name))
+	}
+	return &vec[T]{name: name, labels: labels, mk: mk, children: make(map[string]T)}
+}
+
+// with returns the child for the given label values, creating it on
+// first use. The value count must match the label count.
+func (v *vec[T]) with(values ...string) T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %q got %d label values, want %d", v.name, len(values), len(v.labels)))
+	}
+	key := labelString(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	child, ok := v.children[key]
+	if !ok {
+		child = v.mk(append([]string(nil), values...))
+		v.children[key] = child
+		i := sort.SearchStrings(v.keys, key)
+		v.keys = append(v.keys, "")
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = key
+	}
+	return child
+}
+
+// snapshot returns the children in sorted key order.
+func (v *vec[T]) snapshot() (keys []string, children []T) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys = append(keys, v.keys...)
+	for _, k := range keys {
+		children = append(children, v.children[k])
+	}
+	return keys, children
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ v *vec[*Counter] }
+
+// With returns the child counter for the given label values (in the
+// label order the vector was registered with), creating it on first
+// use.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.v.with(values...) }
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{v: newVec(name, labels, func([]string) *Counter { return &Counter{} })}
+	r.register(&entry{name: name, help: help, typ: "counter", write: func(b *bytes.Buffer) {
+		keys, children := cv.v.snapshot()
+		for i, key := range keys {
+			fmt.Fprintf(b, "%s%s %d\n", name, key, children[i].Value())
+		}
+	}})
+	return cv
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ v *vec[*Gauge] }
+
+// With returns the child gauge for the given label values, creating it
+// on first use.
+func (gv *GaugeVec) With(values ...string) *Gauge { return gv.v.with(values...) }
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{v: newVec(name, labels, func([]string) *Gauge { return &Gauge{} })}
+	r.register(&entry{name: name, help: help, typ: "gauge", write: func(b *bytes.Buffer) {
+		keys, children := gv.v.snapshot()
+		for i, key := range keys {
+			fmt.Fprintf(b, "%s%s %d\n", name, key, children[i].Value())
+		}
+	}})
+	return gv
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	labels  []string
+	buckets []float64
+	v       *vec[*histChild]
+}
+
+type histChild struct {
+	values []string
+	h      *Histogram
+}
+
+// With returns the child histogram for the given label values,
+// creating it on first use.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	child := hv.v.with(values...)
+	return child.h
+}
+
+// HistogramVec registers and returns a labeled histogram family (nil
+// buckets selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	hv := &HistogramVec{labels: labels, buckets: buckets}
+	hv.v = newVec(name, labels, func(values []string) *histChild {
+		return &histChild{values: values, h: newHistogram(buckets)}
+	})
+	r.register(&entry{name: name, help: help, typ: "histogram", write: func(b *bytes.Buffer) {
+		_, children := hv.v.snapshot()
+		for _, child := range children {
+			child.h.write(b, name, hv.labels, child.values)
+		}
+	}})
+	return hv
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	cases := []struct {
+		op   func()
+		want uint64
+	}{
+		{func() {}, 0},
+		{c.Inc, 1},
+		{func() { c.Add(41) }, 42},
+		{c.Inc, 43},
+	}
+	for i, tc := range cases {
+		tc.op()
+		if got := c.Value(); got != tc.want {
+			t.Fatalf("step %d: counter = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Depth.")
+	cases := []struct {
+		op   func()
+		want int64
+	}{
+		{g.Inc, 1},
+		{g.Inc, 2},
+		{g.Dec, 1},
+		{func() { g.Set(7) }, 7},
+		{func() { g.Add(-9) }, -2},
+	}
+	for i, tc := range cases {
+		tc.op()
+		if got := g.Value(); got != tc.want {
+			t.Fatalf("step %d: gauge = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{0.1, 1, 10})
+	// Bucket upper bounds are inclusive, Prometheus-style.
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 2`, // 0.05 and the inclusive 0.1
+		`lat_bucket{le="1"} 4`,   // + 0.5 and the inclusive 1.0
+		`lat_bucket{le="10"} 5`,  // + 5
+		`lat_bucket{le="+Inf"} 6`,
+		`lat_sum 106.65`,
+		`lat_count 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecChildrenAndArity(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("reqs_total", "Requests.", "method", "code")
+	cv.With("GET", "200").Add(3)
+	cv.With("GET", "200").Inc() // same child
+	cv.With("POST", "503").Inc()
+	if got := cv.With("GET", "200").Value(); got != 4 {
+		t.Fatalf("child = %d, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	cv.With("GET")
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X again.")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("odd_total", "Values with \"quotes\", back\\slashes\nand newlines.", "path")
+	cv.With("a\"b\\c\nd").Inc()
+	out := render(t, r)
+	wantHelp := `# HELP odd_total Values with "quotes", back\\slashes\nand newlines.`
+	wantSample := `odd_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, wantHelp+"\n") {
+		t.Errorf("help not escaped, got:\n%s", out)
+	}
+	if !strings.Contains(out, wantSample+"\n") {
+		t.Errorf("label value not escaped, want %q in:\n%s", wantSample, out)
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	// The full exposition format, pinned byte-exact: families sorted by
+	// name, vector children sorted by label values, HELP/TYPE headers,
+	// cumulative histogram buckets with sum and count.
+	r := NewRegistry()
+	q := r.Gauge("demo_queue_depth", "Jobs waiting in the queue.")
+	q.Set(3)
+	c := r.CounterVec("demo_jobs_total", "Jobs by outcome.", "outcome")
+	c.With("fresh").Add(2)
+	c.With("coalesced").Inc()
+	h := r.HistogramVec("demo_duration_seconds", "Job duration.", []float64{0.5, 2}, "kind")
+	h.With("estimate").Observe(0.25)
+	h.With("estimate").Observe(1)
+	h.With("estimate").Observe(9)
+	r.GaugeFunc("demo_utilization", "Busy executors.", func() float64 { return 0.5 })
+
+	const want = `# HELP demo_duration_seconds Job duration.
+# TYPE demo_duration_seconds histogram
+demo_duration_seconds_bucket{kind="estimate",le="0.5"} 1
+demo_duration_seconds_bucket{kind="estimate",le="2"} 2
+demo_duration_seconds_bucket{kind="estimate",le="+Inf"} 3
+demo_duration_seconds_sum{kind="estimate"} 10.25
+demo_duration_seconds_count{kind="estimate"} 3
+# HELP demo_jobs_total Jobs by outcome.
+# TYPE demo_jobs_total counter
+demo_jobs_total{outcome="coalesced"} 1
+demo_jobs_total{outcome="fresh"} 2
+# HELP demo_queue_depth Jobs waiting in the queue.
+# TYPE demo_queue_depth gauge
+demo_queue_depth 3
+# HELP demo_utilization Busy executors.
+# TYPE demo_utilization gauge
+demo_utilization 0.5
+`
+	if got := render(t, r); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestConcurrentMutationAndRender(t *testing.T) {
+	// Mutation is lock-free and rendering snapshots under the registry
+	// lock; hammer both under -race.
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", nil)
+	cv := r.CounterVec("cv_total", "CV.", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 100)
+				cv.With([]string{"a", "b", "c"}[j%3]).Inc()
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				render(t, r)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := h.Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestProcessRegistryIsShared(t *testing.T) {
+	if Process() != Process() {
+		t.Fatal("Process() returned distinct registries")
+	}
+}

@@ -13,6 +13,8 @@
 #
 #   1. routebench -exp E1 -format json      == same + -backends
 #   2. faultroute -trials 60 (estimate)     == same + -backends
+#   3. every backend's /v1/metrics reports the core series with
+#      non-zero work counts after the runs above
 #
 # Daemons are torn down on exit, pass or fail.
 set -eu
@@ -86,5 +88,42 @@ if ! cmp -s "$workdir/local.txt" "$workdir/dist.txt"; then
     echo "cluster: FAIL — faultroute -backends output differs from local" >&2
     exit 1
 fi
+
+echo "cluster: smoke 3 — /v1/metrics on every backend"
+# The dispatch runs above sharded work across all backends, so each one
+# must now expose the core series, and the work counters must be
+# non-zero. (Dispatch failover series live in the dispatching process,
+# not the daemons, so they are not required here.)
+for url in $(echo "$backends" | tr ',' ' '); do
+    if ! fetch "$url/v1/metrics" >"$workdir/metrics.txt"; then
+        echo "cluster: FAIL — $url/v1/metrics unreachable" >&2
+        exit 1
+    fi
+    for series in \
+        faultroute_jobs_queue_depth \
+        faultroute_jobs_queue_capacity \
+        faultroute_jobs_executors \
+        faultroute_jobs_executors_busy \
+        faultroute_cache_hits_total \
+        faultroute_cache_results \
+        faultroute_sse_streams_active \
+        faultroute_jobs_coalesced_total; do
+        if ! grep -q "^$series " "$workdir/metrics.txt"; then
+            echo "cluster: FAIL — $url/v1/metrics is missing $series" >&2
+            exit 1
+        fi
+    done
+    for series in \
+        faultroute_cache_misses_total \
+        faultroute_http_requests_total \
+        faultroute_jobs_submitted_total \
+        faultroute_job_duration_seconds_count; do
+        if ! grep "^$series" "$workdir/metrics.txt" | grep -qv ' 0$'; then
+            echo "cluster: FAIL — $url/v1/metrics reports no work in $series" >&2
+            exit 1
+        fi
+    done
+done
+echo "cluster: all backends expose live /v1/metrics"
 
 echo "cluster: OK — $M-backend dispatch is byte-identical to in-process runs"

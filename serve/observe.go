@@ -1,0 +1,192 @@
+package serve
+
+// Observability of the service: the per-service metrics registry, the
+// HTTP middleware that feeds the request counters and the structured
+// request log, and the GET /v1/metrics scrape handler.
+//
+// The series split in two registries. Everything the service itself
+// owns — queue depth, executor utilization, cache hit/miss/coalesce
+// counts, per-kind job latency — lives in a per-Service registry, so
+// two services in one process (tests, embedded daemons) never collide.
+// Cross-cutting series owned by the process (dispatch.Pool's failover
+// counters) live in metrics.Process(), which every scrape appends, so
+// a dispatcher embedding a Service exposes its dispatch counters on
+// the same endpoint.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"faultroute/api"
+	"faultroute/internal/metrics"
+)
+
+// serviceMetrics holds the instrument handles of one Service.
+type serviceMetrics struct {
+	reg *metrics.Registry
+
+	submitted *metrics.CounterVec   // outcome: fresh|coalesced|cached|invalid|rejected
+	executed  *metrics.CounterVec   // kind, state: executed jobs by terminal state
+	duration  *metrics.HistogramVec // kind: execution latency histogram
+	httpReqs  *metrics.CounterVec   // route, code
+	sseActive *metrics.Gauge        // live event-stream subscriber count
+}
+
+// newServiceMetrics registers the service's series against its live
+// engine and store state.
+func newServiceMetrics(s *Service) *serviceMetrics {
+	reg := metrics.NewRegistry()
+	m := &serviceMetrics{
+		reg: reg,
+		submitted: reg.CounterVec("faultroute_jobs_submitted_total",
+			"Job submissions by outcome: fresh (enqueued), coalesced (attached to an in-flight job), cached (already computed), invalid (400), rejected (queue full or closing, 503).",
+			"outcome"),
+		executed: reg.CounterVec("faultroute_jobs_executed_total",
+			"Executed jobs by kind and terminal state (jobs canceled while still queued never execute and are not counted).",
+			"kind", "state"),
+		duration: reg.HistogramVec("faultroute_job_duration_seconds",
+			"Execution latency of jobs by kind, queue wait excluded.",
+			nil, "kind"),
+		httpReqs: reg.CounterVec("faultroute_http_requests_total",
+			"API requests by route pattern and status code.",
+			"route", "code"),
+		sseActive: reg.Gauge("faultroute_sse_streams_active",
+			"Server-Sent-Events progress streams currently open."),
+	}
+	reg.GaugeFunc("faultroute_jobs_queue_depth",
+		"Jobs waiting in the submission queue.",
+		func() float64 { return float64(s.engine.QueueLen()) })
+	reg.GaugeFunc("faultroute_jobs_queue_capacity",
+		"Submission queue capacity; submissions beyond it get 503.",
+		func() float64 { return float64(s.engine.QueueCap()) })
+	reg.GaugeFunc("faultroute_jobs_executors",
+		"Size of the job executor pool.",
+		func() float64 { return float64(s.engine.Executors()) })
+	reg.GaugeFunc("faultroute_jobs_executors_busy",
+		"Executors currently running a job; busy/executors is the pool utilization.",
+		func() float64 { return float64(s.engine.Busy()) })
+	reg.CounterFunc("faultroute_cache_hits_total",
+		"Result-cache lookups that found the stored bytes.",
+		func() float64 { hits, _ := s.store.Stats(); return float64(hits) })
+	reg.CounterFunc("faultroute_cache_misses_total",
+		"Result-cache lookups that found nothing.",
+		func() float64 { _, misses := s.store.Stats(); return float64(misses) })
+	reg.CounterFunc("faultroute_jobs_coalesced_total",
+		"Submissions that coalesced onto an in-flight or completed job instead of enqueueing work.",
+		func() float64 {
+			return float64(m.submitted.With("coalesced").Value() + m.submitted.With("cached").Value())
+		})
+	reg.GaugeFunc("faultroute_cache_results",
+		"Results currently stored in the content-addressed cache.",
+		func() float64 { return float64(s.store.Len()) })
+	return m
+}
+
+// observeJob records one executed job's latency and terminal state,
+// classifying the error exactly like the engine does.
+func (m *serviceMetrics) observeJob(kind string, start time.Time, err error) {
+	m.duration.With(kind).Observe(time.Since(start).Seconds())
+	state := api.JobDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state = api.JobCanceled
+	default:
+		state = api.JobFailed
+	}
+	m.executed.With(kind, string(state)).Inc()
+}
+
+// handleMetrics serves the Prometheus text exposition: the service's
+// own registry followed by the process-wide one.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.metrics.reg.WriteText(&buf)
+	metrics.Process().WriteText(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// requestInfo is the per-request annotation slot: handlers that resolve
+// a job record its identity here so the access log can carry it.
+type requestInfo struct {
+	jobID string
+	key   string
+}
+
+type requestInfoKey struct{}
+
+// annotate records the job a handler resolved for the current request.
+func annotate(r *http.Request, jobID, key string) {
+	if info, ok := r.Context().Value(requestInfoKey{}).(*requestInfo); ok {
+		info.jobID, info.key = jobID, key
+	}
+}
+
+// statusWriter captures the response status and size without hiding
+// the underlying writer's optional interfaces: Unwrap lets
+// http.ResponseController reach Flush for the SSE stream.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps the API mux: every request gets an annotation slot,
+// a faultroute_http_requests_total sample keyed by route pattern and
+// status, and — when the service has a logger — one structured log
+// line (method, path, route, status, duration, response size, and the
+// job id/key when the handler resolved one).
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		info := &requestInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched" // bounded label cardinality for 404 noise
+		}
+		s.metrics.httpReqs.With(route, strconv.Itoa(sw.code)).Inc()
+		if s.logger != nil {
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.code),
+				slog.Duration("duration", time.Since(start)),
+				slog.Int64("bytes", sw.bytes),
+			}
+			if info.jobID != "" {
+				attrs = append(attrs, slog.String("job", info.jobID))
+			}
+			if info.key != "" {
+				attrs = append(attrs, slog.String("key", info.key))
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	})
+}

@@ -15,10 +15,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"faultroute/api"
 	"faultroute/internal/cache"
@@ -42,13 +45,26 @@ type Options struct {
 	// Store, when non-nil, seeds the service with an existing result
 	// cache (a warm store short-circuits resubmissions across restarts).
 	Store *cache.Store
+	// Logger, when non-nil, receives one structured line per API
+	// request: method, path, route pattern, status, duration, response
+	// size, and the job id/key when the handler resolved one. nil
+	// disables request logging (cmd/faultrouted's -log flag sets it).
+	Logger *slog.Logger
+	// EventInterval is the cadence at which GET /v1/jobs/{id}/events
+	// snapshots a running job's progress (<= 0 selects 25ms); terminal
+	// transitions are pushed immediately regardless. It never affects
+	// result bytes — only how often subscribers hear about progress.
+	EventInterval time.Duration
 }
 
 // Service owns one engine + store pair and serves the HTTP API.
 type Service struct {
-	engine  *jobs.Engine
-	store   *cache.Store
-	workers int
+	engine        *jobs.Engine
+	store         *cache.Store
+	workers       int
+	logger        *slog.Logger
+	eventInterval time.Duration
+	metrics       *serviceMetrics
 }
 
 // New starts a service. Close it when done to drain the executors.
@@ -59,15 +75,22 @@ func New(opts Options) *Service {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
+	if opts.EventInterval <= 0 {
+		opts.EventInterval = 25 * time.Millisecond
+	}
 	store := opts.Store
 	if store == nil {
 		store = cache.NewStore()
 	}
-	return &Service{
-		engine:  jobs.NewEngine(store, opts.Executors, opts.QueueDepth),
-		store:   store,
-		workers: opts.Workers,
+	s := &Service{
+		engine:        jobs.NewEngine(store, opts.Executors, opts.QueueDepth),
+		store:         store,
+		workers:       opts.Workers,
+		logger:        opts.Logger,
+		eventInterval: opts.EventInterval,
 	}
+	s.metrics = newServiceMetrics(s)
+	return s
 }
 
 // Close stops accepting submissions, cancels running jobs and waits for
@@ -79,23 +102,31 @@ func (s *Service) Store() *cache.Store { return s.store }
 
 // Handler returns the API surface:
 //
-//	POST   /v1/jobs          submit an estimate, experiment or percolation job
-//	                         (estimate jobs may carry a shard: a trial-range
-//	                         sub-job of a distributed dispatch, see SERVING.md)
-//	GET    /v1/jobs/{id}     job state + progress counters
-//	DELETE /v1/jobs/{id}     cancel a queued or running job (409 once finished)
-//	GET    /v1/results/{key} canonical result bytes for a content address
-//	GET    /v1/experiments   the E1..E18 registry with parameter schemas
-//	GET    /v1/healthz       liveness + cache statistics
+//	POST   /v1/jobs             submit an estimate, experiment or percolation job
+//	                            (estimate jobs may carry a shard: a trial-range
+//	                            sub-job of a distributed dispatch, see SERVING.md)
+//	GET    /v1/jobs/{id}        job state + progress counters
+//	GET    /v1/jobs/{id}/events Server-Sent-Events push progress stream
+//	DELETE /v1/jobs/{id}        cancel a queued or running job (409 once finished)
+//	GET    /v1/results/{key}    canonical result bytes for a content address
+//	GET    /v1/experiments      the E1..E18 registry with parameter schemas
+//	GET    /v1/healthz          liveness + cache statistics
+//	GET    /v1/metrics          Prometheus text-format metrics
+//
+// Every request passes through the observability middleware: a
+// faultroute_http_requests_total sample per request, plus one
+// structured log line when Options.Logger is set.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+api.BasePath+"/jobs", s.handleSubmit)
 	mux.HandleFunc("GET "+api.BasePath+"/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET "+api.BasePath+"/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE "+api.BasePath+"/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET "+api.BasePath+"/results/{key}", s.handleResult)
 	mux.HandleFunc("GET "+api.BasePath+"/experiments", s.handleExperiments)
 	mux.HandleFunc("GET "+api.BasePath+"/healthz", s.handleHealth)
-	return mux
+	mux.HandleFunc("GET "+api.BasePath+"/metrics", s.handleMetrics)
+	return s.instrument(mux)
 }
 
 // writeJSON writes v with the given status; encoding failures turn into
@@ -117,12 +148,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // handleSubmit compiles the submitted request (normalization + content
 // address + task) and either coalesces onto existing work or enqueues a
-// fresh job.
+// fresh job. The compiled task is wrapped so every executed job feeds
+// the per-kind latency histogram and terminal-state counters.
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req api.Request
 	if err := dec.Decode(&req); err != nil {
+		s.metrics.submitted.With("invalid").Inc()
 		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
 		return
 	}
@@ -131,23 +164,42 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, err := api.Compile(req)
 	if err != nil {
+		s.metrics.submitted.With("invalid").Inc()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job, fresh, err := s.engine.Submit(plan.Key, plan.Total, plan.Task)
+	kind, task := plan.Request.Kind, plan.Task
+	instrumented := func(ctx context.Context, progress func(int)) ([]byte, error) {
+		start := time.Now()
+		data, err := task(ctx, progress)
+		s.metrics.observeJob(kind, start, err)
+		return data, err
+	}
+	job, fresh, err := s.engine.Submit(plan.Key, plan.Total, instrumented)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+		s.metrics.submitted.With("rejected").Inc()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	annotate(r, job.ID(), job.Key())
 	st := job.Status()
 	resp := api.SubmitResponse{
 		Job:       st,
 		Cached:    !fresh && st.State == jobs.StateDone,
 		Coalesced: !fresh && st.State != jobs.StateDone,
+		Events:    api.BasePath + "/jobs/" + job.ID() + "/events",
+	}
+	switch {
+	case fresh:
+		s.metrics.submitted.With("fresh").Inc()
+	case resp.Cached:
+		s.metrics.submitted.With("cached").Inc()
+	default:
+		s.metrics.submitted.With("coalesced").Inc()
 	}
 	status := http.StatusOK
 	if fresh {
@@ -164,6 +216,7 @@ func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
+	annotate(r, job.ID(), job.Key())
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
@@ -181,6 +234,7 @@ func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, _ := s.engine.Get(id)
+	annotate(r, job.ID(), job.Key())
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
@@ -189,6 +243,7 @@ func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // byte-compared against local CLI output.
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	annotate(r, "", key)
 	data, ok := s.store.Get(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no result for key %q (job still running, failed, or never submitted)", key)

@@ -1,0 +1,80 @@
+package serve
+
+// Server-Sent-Events push progress: GET /v1/jobs/{id}/events streams a
+// job's progress as an SSE event stream instead of making the client
+// poll GET /v1/jobs/{id}. The stream carries the same api.Event values
+// polling would observe — deduplicated, with a monotone Done counter —
+// and ends right after the terminal event, so a stream consumer and a
+// poller see equivalent sequences and identical terminal states. The
+// daemon advertises the stream in every SubmitResponse (the events
+// field); client.Watch upgrades to it automatically and falls back to
+// polling mid-stream if the connection dies.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"faultroute/api"
+)
+
+// sseRetryHint tells EventSource-style consumers how long to wait
+// before reconnecting after a drop.
+const sseRetryHint = 500 * time.Millisecond
+
+// handleJobEvents streams one job's progress as Server-Sent Events
+// ("event: progress", data = the api.Event JSON). The stream snapshots
+// the job at the service's event interval, skips snapshots that change
+// nothing, pushes the terminal transition immediately, and closes
+// after it. Unknown jobs get a plain 404 JSON error.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.engine.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	annotate(r, job.ID(), job.Key())
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	fmt.Fprintf(w, "retry: %d\n\n", sseRetryHint.Milliseconds())
+	if err := rc.Flush(); err != nil {
+		return // not flushable (exotic front-end): nothing to stream to
+	}
+
+	s.metrics.sseActive.Inc()
+	defer s.metrics.sseActive.Dec()
+
+	ticker := time.NewTicker(s.eventInterval)
+	defer ticker.Stop()
+	var last api.Event
+	first := true
+	for {
+		st := job.Status()
+		cur := api.Event{State: st.State, Done: st.Done, Total: st.Total}
+		if first || cur != last {
+			first, last = false, cur
+			data, err := json.Marshal(cur)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+			if err := rc.Flush(); err != nil {
+				return // subscriber went away mid-write
+			}
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done(): // push the terminal transition immediately
+		case <-ticker.C:
+		}
+	}
+}
