@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"faultroute/internal/rng"
+)
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// histValue(histBucket(v)) must be the bucket's lower bound: at most
+	// v, and within the bucket's width (~v/64) of it.
+	for _, v := range []int64{0, 1, 5, 63, 64, 65, 100, 1000, 4095, 4096,
+		123456, 1 << 20, (1 << 20) + 17, 1e9, 37e9, 1 << 40} {
+		b := histBucket(v)
+		lo := histValue(b)
+		if lo > v {
+			t.Fatalf("histValue(histBucket(%d)) = %d > %d", v, lo, v)
+		}
+		if width := float64(v) / float64(histSub); float64(v-lo) > width+1 {
+			t.Fatalf("value %d landed %d below its bucket bound (width %.0f)", v, v-lo, width)
+		}
+		if bb := histBucket(lo); bb != b {
+			t.Fatalf("bucket bound %d of bucket %d maps to bucket %d", lo, b, bb)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..10000 microseconds, exact uniform grid: quantile q must land
+	// within the histogram's relative resolution of q*10000µs.
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d, want 10000", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q).Microseconds()
+		want := q * 10000
+		if math.Abs(float64(got)-want) > want/histSub+1 {
+			t.Errorf("Quantile(%v) = %dµs, want %.0fµs ± %.0f", q, got, want, want/histSub+1)
+		}
+	}
+	if got := h.Min(); got != time.Microsecond {
+		t.Errorf("Min = %v, want 1µs", got)
+	}
+	if got := h.Max(); got != 10000*time.Microsecond {
+		t.Errorf("Max = %v, want 10ms", got)
+	}
+	if got := h.Mean(); math.Abs(float64(got.Microseconds())-5000.5) > 1 {
+		t.Errorf("Mean = %v, want ~5000.5µs", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	whole, a, b := &Histogram{}, &Histogram{}, &Histogram{}
+	s := rng.NewStream(9)
+	for i := 0; i < 50000; i++ {
+		d := time.Duration(s.Intn(1e9))
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Mean() != whole.Mean() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged summary diverged: count %d/%d mean %v/%v", a.Count(), whole.Count(), a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v, whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5 * time.Second) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record did not clamp: min %v max %v count %d", h.Min(), h.Max(), h.Count())
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"faultroute/api"
+	"faultroute/serve"
+)
+
+// Preset is a named, self-contained sweep: the grid, the run options,
+// and the self-host sizing to use when no external targets are given.
+type Preset struct {
+	Name        string
+	Description string
+	Grid        Grid
+	Options     Options
+	Serve       serve.Options
+}
+
+// Presets returns the named sweeps, most important first.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name: "millions-of-users",
+			Description: "thousands of concurrent clients with Zipf-distributed spec popularity; " +
+				"asserts that duplicate coalescing and the content-addressed cache absorb >= 90% of submissions",
+			Grid: Grid{
+				Clients:  []int{2000},
+				Trials:   []int{16},
+				Graphs:   []api.GraphSpec{{Family: "hypercube", N: 8}},
+				Catalogs: []int{256},
+				Zipfs:    []float64{1.1},
+				Ops:      8000,
+			},
+			Options: Options{MinAbsorbed: 0.9},
+			Serve:   serve.Options{Executors: 4, QueueDepth: 256},
+		},
+		{
+			Name: "smoke",
+			Description: "tiny two-cell grid (cold catalog vs duplicate-heavy) for CI: " +
+				"exercises the whole harness path in seconds",
+			Grid: Grid{
+				Clients:  []int{4},
+				Trials:   []int{8},
+				Graphs:   []api.GraphSpec{{Family: "hypercube", N: 6}},
+				Catalogs: []int{8, 2},
+				Zipfs:    []float64{1.1},
+				Ops:      40,
+			},
+			Serve: serve.Options{Executors: 2, QueueDepth: 32},
+		},
+	}
+}
+
+// PresetByName looks a preset up by name.
+func PresetByName(name string) (Preset, error) {
+	names := make([]string, 0, 2)
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+		names = append(names, p.Name)
+	}
+	return Preset{}, fmt.Errorf("bench: unknown preset %q (have %s)", name, strings.Join(names, ", "))
+}

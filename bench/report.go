@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+)
+
+// Row is one measured sweep cell in the BENCH_*.json trajectory schema:
+// the same {name, iterations, metrics} shape scripts/bench.sh emits for
+// Go microbenchmarks, so faultbench rows and microbench rows compose
+// into one trajectory file (see docs/BENCHMARKS.md). Iterations is the
+// number of operations the cell issued; Metrics carries the measured
+// rates, quantiles and scrape deltas, keyed unit-style ("jobs/s",
+// "p99-ms", ...).
+type Row struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level BENCH_*.json envelope. Extra context fields
+// (pr, change, comment) may ride alongside in committed trajectory
+// points; Go and Benchmarks are the schema-bearing core.
+type Report struct {
+	Go         string `json:"go"`
+	Benchmarks []Row  `json:"benchmarks"`
+}
+
+// NewReport returns an empty report stamped with the running Go
+// version.
+func NewReport() *Report {
+	return &Report{Go: runtime.Version()}
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ValidateReport checks that data is a schema-valid BENCH_*.json
+// document: the {go, benchmarks} envelope with at least one row, every
+// row carrying a non-empty name, a positive iteration count and a
+// non-empty numeric metrics map. The faultbench tests and the
+// trajectory tooling share this one definition of "schema-valid".
+func ValidateReport(data []byte) error {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench: report is not valid JSON: %w", err)
+	}
+	if r.Go == "" {
+		return fmt.Errorf("bench: report is missing the go version")
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("bench: report has no benchmark rows")
+	}
+	for i, row := range r.Benchmarks {
+		if row.Name == "" {
+			return fmt.Errorf("bench: row %d has no name", i)
+		}
+		if row.Iterations <= 0 {
+			return fmt.Errorf("bench: row %q has non-positive iterations %d", row.Name, row.Iterations)
+		}
+		if len(row.Metrics) == 0 {
+			return fmt.Errorf("bench: row %q has no metrics", row.Name)
+		}
+	}
+	return nil
+}

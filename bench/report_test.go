@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestReportEncodeRoundTrip(t *testing.T) {
+	r := NewReport()
+	r.Benchmarks = append(r.Benchmarks, Row{
+		Name:       "Faultbench/closed-c4/hypercube6-t8/b1-w1/cat2-zipf1.1",
+		Iterations: 40,
+		Metrics:    map[string]float64{"jobs/s": 1234, "p99-ms": 5.5},
+	})
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(data); err != nil {
+		t.Fatalf("Encode emitted an invalid report: %v", err)
+	}
+}
+
+func TestValidateReportRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":       `{`,
+		"no go version":  `{"benchmarks":[{"name":"x","iterations":1,"metrics":{"jobs/s":1}}]}`,
+		"no rows":        `{"go":"go1.24.0","benchmarks":[]}`,
+		"unnamed row":    `{"go":"go1.24.0","benchmarks":[{"iterations":1,"metrics":{"jobs/s":1}}]}`,
+		"zero iter":      `{"go":"go1.24.0","benchmarks":[{"name":"x","iterations":0,"metrics":{"jobs/s":1}}]}`,
+		"empty metrics":  `{"go":"go1.24.0","benchmarks":[{"name":"x","iterations":1,"metrics":{}}]}`,
+		"string metrics": `{"go":"go1.24.0","benchmarks":[{"name":"x","iterations":1,"metrics":{"jobs/s":"fast"}}]}`,
+	} {
+		if err := ValidateReport([]byte(doc)); err == nil {
+			t.Errorf("ValidateReport accepted a document with %s", name)
+		}
+	}
+}
+
+// TestCommittedReportIsValid keeps the committed trajectory point
+// honest: BENCH_pr7.json must stay schema-valid, and its
+// millions-of-users rows must actually show the absorption story the
+// preset asserts — duplicate coalescing plus the content-addressed
+// cache absorbing >= 90% of accepted submissions.
+func TestCommittedReportIsValid(t *testing.T) {
+	data, err := os.ReadFile("../BENCH_pr7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(data); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	preset := 0
+	for _, row := range rep.Benchmarks {
+		if row.Metrics["absorbed"] < 0.85 {
+			t.Errorf("row %q: absorbed = %v — the harness exists to show the cache/coalesce path carrying the load", row.Name, row.Metrics["absorbed"])
+		}
+		if row.Name == "Faultbench/closed-c2000/hypercube8-t16/b1-w1/cat256-zipf1.1/post-submit-memo" {
+			preset++
+			if row.Metrics["absorbed"] < 0.9 {
+				t.Errorf("millions-of-users row: absorbed = %v, preset floor is 0.9", row.Metrics["absorbed"])
+			}
+			if row.Metrics["fresh"] >= row.Metrics["coalesced"]+row.Metrics["cached"] {
+				t.Errorf("millions-of-users row: fresh %v not dwarfed by coalesced %v + cached %v",
+					row.Metrics["fresh"], row.Metrics["coalesced"], row.Metrics["cached"])
+			}
+		}
+	}
+	if preset != 1 {
+		t.Fatalf("committed report carries %d millions-of-users post-fix rows, want 1", preset)
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const exampleScrape = `# HELP faultroute_cache_hits_total Result-cache lookups that found the stored bytes.
+# TYPE faultroute_cache_hits_total counter
+faultroute_cache_hits_total 41
+# HELP faultroute_jobs_submitted_total Job submissions by outcome.
+# TYPE faultroute_jobs_submitted_total counter
+faultroute_jobs_submitted_total{outcome="cached"} 7
+faultroute_jobs_submitted_total{outcome="coalesced"} 30
+faultroute_jobs_submitted_total{outcome="fresh"} 4
+faultroute_jobs_submitted_total{outcome="rejected"} 2
+# HELP faultroute_job_duration_seconds Execution latency of jobs by kind.
+# TYPE faultroute_job_duration_seconds histogram
+faultroute_job_duration_seconds_bucket{kind="estimate",le="0.01"} 3
+faultroute_job_duration_seconds_bucket{kind="estimate",le="+Inf"} 4
+faultroute_job_duration_seconds_sum{kind="estimate"} 0.0625
+faultroute_job_duration_seconds_count{kind="estimate"} 4
+`
+
+func parse(t *testing.T, text string) Scrape {
+	t.Helper()
+	s, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseMetrics(t *testing.T) {
+	s := parse(t, exampleScrape)
+	cases := []struct {
+		get  func() float64
+		want float64
+	}{
+		{func() float64 { return s.Sum("faultroute_cache_hits_total") }, 41},
+		{func() float64 { return s.Sum("faultroute_jobs_submitted_total") }, 43},
+		{func() float64 { return s.Label("faultroute_jobs_submitted_total", "outcome", "coalesced") }, 30},
+		{func() float64 { return s.Label("faultroute_jobs_submitted_total", "outcome", "rejected") }, 2},
+		{func() float64 { return s.Label("faultroute_jobs_submitted_total", "outcome", "missing") }, 0},
+		// Histogram child series are distinct families, never conflated.
+		{func() float64 { return s.Sum("faultroute_job_duration_seconds_count") }, 4},
+		{func() float64 { return s.Sum("faultroute_job_duration_seconds_sum") }, 0.0625},
+	}
+	for i, tc := range cases {
+		if got := tc.get(); got != tc.want {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"justaname\n", "name notanumber\n"} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestScrapeSubAndMerge(t *testing.T) {
+	before := parse(t, exampleScrape)
+	after := parse(t, strings.ReplaceAll(exampleScrape, "41", "141"))
+	d := after.Sub(before)
+	if got := d.Sum("faultroute_cache_hits_total"); got != 100 {
+		t.Errorf("delta hits = %v, want 100", got)
+	}
+	if got := d.Label("faultroute_jobs_submitted_total", "outcome", "fresh"); got != 0 {
+		t.Errorf("unchanged series delta = %v, want 0", got)
+	}
+	// A series absent before (fresh backend) counts from zero.
+	d2 := after.Sub(Scrape{})
+	if got := d2.Sum("faultroute_cache_hits_total"); got != 141 {
+		t.Errorf("delta vs empty = %v, want 141", got)
+	}
+	// Merge folds two backends' scrapes by summing shared series.
+	m := parse(t, exampleScrape)
+	m.Merge(before)
+	if got := m.Label("faultroute_jobs_submitted_total", "outcome", "coalesced"); got != 60 {
+		t.Errorf("merged coalesced = %v, want 60", got)
+	}
+}

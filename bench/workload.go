@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"faultroute/api"
+	"faultroute/client"
+	"faultroute/internal/rng"
+)
+
+// This file builds a cell's workload: the catalog of distinct specs,
+// the Zipf-popularity op schedule over it, and the per-op executor
+// (plain submit, or a shard fan-out with a local merge).
+
+// catalogSpec returns catalog entry `rank` of the cell: the cell's
+// graph/trials/p template with a rank-distinct seed, so every entry has
+// its own content address and entries are equal work. base folds the
+// run seed with the cell's index, so cells never warm each other's
+// cache entries by accident — duplicate traffic inside a cell is the
+// controlled variable (Catalog size × Zipf skew), not an artifact of
+// the sweep order.
+func catalogSpec(cell Cell, base uint64, rank int) api.Request {
+	return api.Request{
+		Kind: api.KindEstimate,
+		Estimate: &api.EstimateSpec{
+			Graph:  cell.Graph,
+			P:      cell.P,
+			Trials: cell.Trials,
+			Seed:   base + uint64(rank),
+		},
+		Workers: cell.Workers,
+	}
+}
+
+// schedule materializes the cell's op sequence: Ops draws from a
+// Zipf(cell.Zipf) popularity law over the catalog ranks, deterministic
+// in (seed, cell index). Generators claim ops from this fixed sequence,
+// so the submitted multiset of specs is reproducible regardless of how
+// goroutines interleave.
+func schedule(cell Cell, seed uint64, ops int) ([]int, error) {
+	z, err := rng.NewZipf(rng.NewStream(rng.Combine(seed, 0x6661756c7462)), cell.Zipf, cell.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]int, ops)
+	for i := range ranks {
+		ranks[i] = z.Next()
+	}
+	return ranks, nil
+}
+
+// cellRunner executes one cell's ops against a set of backend clients.
+type cellRunner struct {
+	cell    Cell
+	clients []*client.Client
+	base    uint64
+}
+
+// do executes op i (catalog rank `rank`): submit, await, fetch the
+// result — or, when the cell shards, fan the estimate's trial range out
+// as shard sub-jobs across the backends and fold them back with
+// MergeShards, exactly the shape a dispatch.Pool run puts on the wire.
+func (cr *cellRunner) do(ctx context.Context, i, rank int) error {
+	if cr.cell.Shard <= 0 {
+		req := catalogSpec(cr.cell, cr.base, rank)
+		_, err := cr.clients[i%len(cr.clients)].Do(ctx, req)
+		return err
+	}
+	base := catalogSpec(cr.cell, cr.base, rank)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		shards []api.ShardResult
+		firstE error
+	)
+	for off, j := 0, 0; off < cr.cell.Trials; off, j = off+cr.cell.Shard, j+1 {
+		count := cr.cell.Shard
+		if off+count > cr.cell.Trials {
+			count = cr.cell.Trials - off
+		}
+		req := base
+		spec := *base.Estimate
+		spec.Shard = &api.ShardSpec{Offset: off, Count: count}
+		req.Estimate = &spec
+		cli := cr.clients[(i+j)%len(cr.clients)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := cli.Do(ctx, req)
+			if err == nil {
+				var sr api.ShardResult
+				if sr, err = res.Shard(); err == nil {
+					mu.Lock()
+					shards = append(shards, sr)
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstE == nil {
+				firstE = err
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	if _, err := api.MergeShards(shards); err != nil {
+		return fmt.Errorf("bench: merging %d shards: %w", len(shards), err)
+	}
+	return nil
+}

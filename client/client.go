@@ -20,10 +20,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -108,6 +110,11 @@ var _ api.Runner = (*Client)(nil)
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent):
+	// on a queue-full 503 the daemon says when capacity is expected
+	// back, and the retry loop waits exactly that long — capped by the
+	// backoff ceiling — instead of guessing exponentially.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -311,6 +318,43 @@ func (c *Client) backoffWait(attempt int) time.Duration {
 	return time.Duration(half + rng.Combine(uint64(attempt), c.jitterSalt)%(half+1))
 }
 
+// parseRetryAfter reads a Retry-After header value: delay-seconds or an
+// HTTP-date, per RFC 9110. Absent, malformed or non-positive values
+// yield zero (fall back to exponential backoff).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// retryWait returns the pause before retry `attempt` given the failure
+// that triggered it: the server's Retry-After hint when it sent one
+// (bounded by the same maxBackoff cap as the exponential schedule, so a
+// confused daemon cannot park clients for an hour), the jittered
+// exponential backoff otherwise.
+func (c *Client) retryWait(attempt int, lastErr error) time.Duration {
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		if ae.RetryAfter > maxBackoff {
+			return maxBackoff
+		}
+		return ae.RetryAfter
+	}
+	return c.backoffWait(attempt)
+}
+
 // call issues one API request with the retry policy and decodes the
 // response. Raw result bytes are preserved exactly: when out is a
 // *json.RawMessage the body is copied verbatim, never re-encoded.
@@ -321,7 +365,7 @@ func (c *Client) call(ctx context.Context, method, path string, payload []byte, 
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.backoffWait(attempt)):
+			case <-time.After(c.retryWait(attempt, lastErr)):
 			}
 		}
 		retriable, err := c.once(ctx, method, path, payload, out)
@@ -368,7 +412,11 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		if eb.Error == "" {
 			eb.Error = strings.TrimSpace(string(data))
 		}
-		apiErr := &APIError{StatusCode: resp.StatusCode, Message: eb.Error}
+		apiErr := &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    eb.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		return resp.StatusCode == http.StatusServiceUnavailable, apiErr
 	}
 	if out == nil {

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"1.5", 0}, // RFC 9110 delay-seconds is an integer
+	} {
+		if got := parseRetryAfter(tc.header); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+	// HTTP-date form: a date ~2s out parses to a positive wait no larger
+	// than the gap; a past date degrades to zero.
+	future := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 2*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want in (0, 2s]", future, got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Errorf("parseRetryAfter(past date) = %v, want 0", got)
+	}
+}
+
+// TestRetryWaitHonorsHintCapped pins the policy: a server hint wins
+// over the exponential schedule but never exceeds the backoff ceiling,
+// and errors without a hint fall back to backoffWait.
+func TestRetryWaitHonorsHintCapped(t *testing.T) {
+	c := New("http://x", WithRetry(3, time.Millisecond))
+	if got := c.retryWait(1, &APIError{StatusCode: 503, RetryAfter: 2 * time.Second}); got != 2*time.Second {
+		t.Errorf("retryWait with 2s hint = %v, want 2s", got)
+	}
+	if got := c.retryWait(1, &APIError{StatusCode: 503, RetryAfter: maxBackoff + time.Hour}); got != maxBackoff {
+		t.Errorf("retryWait with oversized hint = %v, want capped at %v", got, maxBackoff)
+	}
+	if got := c.retryWait(1, errors.New("conn refused")); got > time.Millisecond {
+		t.Errorf("retryWait without hint = %v, want the ~1ms backoff base", got)
+	}
+}
+
+// TestRetryAfterDrivesRetryTiming is the transport test: the daemon
+// rejects the first submit with a queue-full 503 carrying
+// `Retry-After: 1`, and the client — configured with a microscopic
+// backoff base — must still wait the full advertised second before the
+// retry that succeeds.
+func TestRetryAfterDrivesRetryTiming(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64 // ns between first response and second request
+	var firstDone atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"job queue full"}`))
+			firstDone.Store(time.Now().UnixNano())
+		default:
+			gap.Store(time.Now().UnixNano() - firstDone.Load())
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"ok":true,"results":0}`))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(3, time.Millisecond))
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2 (one 503, one retry)", n)
+	}
+	if waited := time.Duration(gap.Load()); waited < time.Second {
+		t.Fatalf("client retried after %v; the Retry-After: 1 hint requires >= 1s", waited)
+	}
+}

@@ -1,0 +1,262 @@
+// Command faultbench is the saturation-grade load harness and
+// parameter-sweep driver of the serving stack (faultroute/bench over a
+// CLI). It sweeps grids — clients × workers × backends × shard size ×
+// trial count × graph family × cache-hit ratio — against live
+// faultrouted daemons (-targets, e.g. a scripts/cluster.sh fleet) or an
+// in-process service it boots itself, drives closed-loop or open-loop
+// load with Zipf-distributed spec popularity, and emits one
+// machine-readable BENCH_*.json row per cell: throughput (jobs/s,
+// trials/s), p50/p95/p99 latency, and the before/after /v1/metrics
+// scrape deltas (fresh vs coalesced vs cached submissions, queue
+// rejections).
+//
+//	faultbench -preset smoke
+//	faultbench -preset millions-of-users -out BENCH_run.json
+//	faultbench -targets http://127.0.0.1:18080,http://127.0.0.1:18081 \
+//	    -clients 64,512 -catalogs 8,256 -zipfs 1.1 -trials 32 -ops 2000
+//
+// Grids and row schema are documented in docs/BENCHMARKS.md; a preset
+// carrying an assertion (millions-of-users requires the cache/coalesce
+// path to absorb >= 90% of submissions) fails the run — and the exit
+// code — when the system under load doesn't hold it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"faultroute/api"
+	"faultroute/bench"
+	"faultroute/serve"
+)
+
+func main() {
+	switch err := run(os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2) // the flag package already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, "faultbench:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks a flag-parse failure whose message the flag package
+// has already printed alongside the usage text.
+var errUsage = errors.New("usage")
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultbench", flag.ContinueOnError)
+	var (
+		targets  = fs.String("targets", "", "comma-separated daemon base URLs; empty boots an in-process service")
+		preset   = fs.String("preset", "", "named sweep (see -list); overrides the grid flags")
+		list     = fs.Bool("list", false, "list the named presets and exit")
+		clients  = fs.String("clients", "", "closed-loop client counts (CSV), e.g. 64,512")
+		rates    = fs.String("rates", "", "open-loop arrival rates per second (CSV); 0 = closed loop")
+		workers  = fs.String("workers", "", "per-request worker hints (CSV)")
+		trials   = fs.String("trials", "", "estimate trial counts (CSV)")
+		shards   = fs.String("shards", "", "shard sizes (CSV); 0 = unsharded")
+		graphs   = fs.String("graphs", "", "graph specs (CSV of family:n, e.g. hypercube:10,mesh:16)")
+		catalogs = fs.String("catalogs", "", "distinct-spec catalog sizes (CSV) — with -zipfs, the cache-hit ratio knob")
+		zipfs    = fs.String("zipfs", "", "Zipf popularity skews (CSV); 0 = uniform")
+		backends = fs.String("backends", "", "backend counts to use from -targets (CSV); 0 = all")
+		ops      = fs.Int("ops", 0, "operations per cell (0 = preset/default)")
+		think    = fs.Duration("think", 0, "closed-loop think time between ops")
+		p        = fs.Float64("p", 0, "retention probability of the catalog specs (0 = default 0.7)")
+		seed     = fs.Uint64("seed", 1, "base seed of catalogs and op schedules")
+		out      = fs.String("out", "", "write the JSON report here instead of stdout")
+		quiet    = fs.Bool("q", false, "suppress per-cell progress on stderr")
+		execs    = fs.Int("executors", 0, "in-process service: jobs executed concurrently")
+		queue    = fs.Int("queue", 0, "in-process service: submission queue depth")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *list {
+		for _, pr := range bench.Presets() {
+			fmt.Printf("%-20s %s\n", pr.Name, pr.Description)
+		}
+		return nil
+	}
+
+	var (
+		grid      bench.Grid
+		opts      bench.Options
+		serveOpts = serve.Options{Executors: *execs, QueueDepth: *queue}
+		err       error
+	)
+	if *preset != "" {
+		pr, err := bench.PresetByName(*preset)
+		if err != nil {
+			return err
+		}
+		grid, opts = pr.Grid, pr.Options
+		if *execs == 0 && *queue == 0 {
+			serveOpts = pr.Serve
+		}
+	}
+	if grid, err = applyGridFlags(grid, gridFlags{
+		clients: *clients, rates: *rates, workers: *workers, trials: *trials,
+		shards: *shards, graphs: *graphs, catalogs: *catalogs, zipfs: *zipfs,
+		backends: *backends,
+	}); err != nil {
+		return err
+	}
+	grid.Think, grid.P = *think, *p
+	if *ops > 0 {
+		grid.Ops = *ops
+	}
+	opts.Seed = *seed
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "faultbench: "+format+"\n", args...)
+		}
+	}
+
+	var target *bench.Target
+	if *targets == "" {
+		if target, err = bench.SelfHost(serveOpts); err != nil {
+			return err
+		}
+		if opts.Logf != nil {
+			opts.Logf("self-hosting an in-process service at %s", target.URLs[0])
+		}
+	} else {
+		target = bench.Connect(splitCSV(*targets)...)
+	}
+	defer target.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cells := grid.Cells()
+	rep, runErr := bench.Run(ctx, target, cells, opts)
+	// A failed assertion still returns the rows measured so far; write
+	// them before reporting the failure so the evidence isn't lost.
+	if rep != nil && len(rep.Benchmarks) > 0 {
+		data, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				return err
+			}
+			if opts.Logf != nil {
+				opts.Logf("wrote %d rows to %s", len(rep.Benchmarks), *out)
+			}
+		} else {
+			os.Stdout.Write(data)
+		}
+	}
+	return runErr
+}
+
+// gridFlags carries the raw CSV grid axes from the flag set.
+type gridFlags struct {
+	clients, rates, workers, trials, shards, graphs, catalogs, zipfs, backends string
+}
+
+// applyGridFlags overlays non-empty CSV flag values onto the grid (a
+// preset's axes stay unless explicitly overridden).
+func applyGridFlags(grid bench.Grid, f gridFlags) (bench.Grid, error) {
+	var err error
+	setInts := func(dst *[]int, csv, name string) {
+		if err != nil || csv == "" {
+			return
+		}
+		var vals []int
+		for _, s := range splitCSV(csv) {
+			v, e := strconv.Atoi(s)
+			if e != nil {
+				err = fmt.Errorf("bad -%s value %q: %v", name, s, e)
+				return
+			}
+			vals = append(vals, v)
+		}
+		*dst = vals
+	}
+	setFloats := func(dst *[]float64, csv, name string) {
+		if err != nil || csv == "" {
+			return
+		}
+		var vals []float64
+		for _, s := range splitCSV(csv) {
+			v, e := strconv.ParseFloat(s, 64)
+			if e != nil {
+				err = fmt.Errorf("bad -%s value %q: %v", name, s, e)
+				return
+			}
+			vals = append(vals, v)
+		}
+		*dst = vals
+	}
+	setInts(&grid.Clients, f.clients, "clients")
+	setFloats(&grid.Rates, f.rates, "rates")
+	setInts(&grid.Workers, f.workers, "workers")
+	setInts(&grid.Trials, f.trials, "trials")
+	setInts(&grid.Shards, f.shards, "shards")
+	setInts(&grid.Catalogs, f.catalogs, "catalogs")
+	setFloats(&grid.Zipfs, f.zipfs, "zipfs")
+	setInts(&grid.Backends, f.backends, "backends")
+	if err != nil {
+		return grid, err
+	}
+	if f.graphs != "" {
+		var specs []api.GraphSpec
+		for _, s := range splitCSV(f.graphs) {
+			gs, err := parseGraph(s)
+			if err != nil {
+				return grid, err
+			}
+			specs = append(specs, gs)
+		}
+		grid.Graphs = specs
+	}
+	return grid, nil
+}
+
+// parseGraph parses a family:n grid axis value. Mesh and torus read n
+// as the side of a 2-dimensional instance; every other family reads it
+// as its size parameter. Validity is checked by compiling a probe spec
+// through the wire registry, so -graphs accepts exactly the families
+// the daemon does.
+func parseGraph(s string) (api.GraphSpec, error) {
+	family, nStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return api.GraphSpec{}, fmt.Errorf("bad -graphs value %q (want family:n)", s)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		return api.GraphSpec{}, fmt.Errorf("bad -graphs size in %q: %v", s, err)
+	}
+	gs := api.GraphSpec{Family: family, N: n}
+	if family == "mesh" || family == "torus" {
+		gs = api.GraphSpec{Family: family, D: 2, Side: n}
+	}
+	if _, err := api.NewGraph(gs); err != nil {
+		return api.GraphSpec{}, err
+	}
+	return gs, nil
+}
+
+func splitCSV(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -38,6 +38,7 @@ echo "cluster: building binaries"
 go build -o "$workdir/faultrouted" ./cmd/faultrouted
 go build -o "$workdir/faultroute" ./cmd/faultroute
 go build -o "$workdir/routebench" ./cmd/routebench
+go build -o "$workdir/faultbench" ./cmd/faultbench
 
 # fetch URL: curl or wget, whichever the machine has.
 fetch() {
@@ -125,5 +126,19 @@ for url in $(echo "$backends" | tr ',' ' '); do
     done
 done
 echo "cluster: all backends expose live /v1/metrics"
+
+echo "cluster: smoke 4 — faultbench multi-cell sweep against the fleet"
+# A small closed-loop grid (two client counts, Zipf-popular catalog)
+# driven at the live backends: the sweep must complete without op
+# errors and emit a schema-valid report. docs/BENCHMARKS.md describes
+# the grid and the row schema.
+"$workdir/faultbench" -targets "$backends" -clients 4,8 -trials 8 \
+    -graphs hypercube:6 -catalogs 4 -zipfs 1.1 -ops 60 -q \
+    -out "$workdir/faultbench.json"
+if ! grep -q '"name": "Faultbench/' "$workdir/faultbench.json"; then
+    echo "cluster: FAIL — faultbench sweep produced no rows" >&2
+    exit 1
+fi
+echo "cluster: faultbench sweep emitted $(grep -c '"name":' "$workdir/faultbench.json") rows"
 
 echo "cluster: OK — $M-backend dispatch is byte-identical to in-process runs"

@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestSubmitMemoBounds pins the memory guarantees: oversized bodies
+// are never admitted, and the entry count never exceeds the cap.
+func TestSubmitMemoBounds(t *testing.T) {
+	sm := newSubmitMemo()
+	huge := bytes.Repeat([]byte("x"), memoMaxBody+1)
+	sm.put(huge, &memoEntry{key: "k"})
+	if sm.get(huge) != nil {
+		t.Fatal("memo admitted a body over memoMaxBody")
+	}
+	for i := 0; i < memoMaxEntries+64; i++ {
+		sm.put([]byte(fmt.Sprintf("body-%d", i)), &memoEntry{key: fmt.Sprintf("k%d", i)})
+	}
+	if n := len(sm.m); n > memoMaxEntries {
+		t.Fatalf("memo grew to %d entries, cap is %d", n, memoMaxEntries)
+	}
+	// An evicted popular body is simply re-memoized on the next put.
+	sm.put([]byte("body-0"), &memoEntry{key: "k0"})
+	if e := sm.get([]byte("body-0")); e == nil || e.key != "k0" {
+		t.Fatal("re-memoization after eviction failed")
+	}
+}

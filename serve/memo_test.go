@@ -1,0 +1,117 @@
+package serve_test
+
+// Tests for the submit memo (memo.go): the duplicate-submission fast
+// path must be byte-transparent — identical responses whether a
+// cache-hit submit is served by the decoder or the frozen bytes — and
+// must never leak across distinct bodies.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"faultroute/api"
+)
+
+// postRaw submits a raw body and returns status + exact response
+// bytes.
+func postRaw(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestSubmitMemoFastPathIsByteTransparent(t *testing.T) {
+	ts := newTestServer(t, 1)
+	body := `{"kind":"estimate","estimate":{"graph":{"family":"hypercube","n":6},"p":0.7,"trials":4,"seed":11}}`
+
+	code, first := postRaw(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh submit: status %d\n%s", code, first)
+	}
+	var sub api.SubmitResponse
+	if err := json.Unmarshal(first, &sub); err != nil {
+		t.Fatal(err)
+	}
+	awaitJob(t, ts.URL, sub.Job.ID)
+
+	// First duplicate after completion: slow path, freezes the bytes.
+	// Second duplicate: served from the frozen bytes. The two responses
+	// must be byte-identical — the memo is an optimization, not an
+	// observable behavior change.
+	code1, hit1 := postRaw(t, ts.URL, body)
+	code2, hit2 := postRaw(t, ts.URL, body)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("cache-hit submits: status %d, %d, want 200", code1, code2)
+	}
+	if !bytes.Equal(hit1, hit2) {
+		t.Fatalf("memo fast path changed the response bytes:\nslow: %s\nfast: %s", hit1, hit2)
+	}
+	var hit api.SubmitResponse
+	if err := json.Unmarshal(hit2, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Job.ID != sub.Job.ID || hit.Job.State != api.JobDone {
+		t.Fatalf("fast-path response incoherent: %+v", hit)
+	}
+
+	// A different body that normalizes to the same spec misses the memo
+	// but must still hit the engine's cache — correctness never depends
+	// on a memo hit.
+	variant := `{"kind":"estimate","estimate":{"seed":11,"trials":4,"p":0.7,"graph":{"family":"hypercube","n":6}}}`
+	codeV, hitV := postRaw(t, ts.URL, variant)
+	var subV api.SubmitResponse
+	if err := json.Unmarshal(hitV, &subV); err != nil {
+		t.Fatal(err)
+	}
+	if codeV != http.StatusOK || !subV.Cached || subV.Job.Key != sub.Job.Key {
+		t.Fatalf("normalization-variant body: status %d, %+v", codeV, subV)
+	}
+
+	// All three cache hits must be on the counter, and the memo must
+	// not have swallowed the invalid-body path.
+	text := scrape(t, ts.URL)
+	wantLine(t, text, `faultroute_jobs_submitted_total{outcome="cached"} 3`)
+	if code, _ := postRaw(t, ts.URL, `{"kind":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid submit after memoization: status %d, want 400", code)
+	}
+}
+
+// TestSubmitMemoDistinctBodies pins that near-identical bodies (one
+// field apart) stay distinct jobs: the memo keys on exact bytes.
+func TestSubmitMemoDistinctBodies(t *testing.T) {
+	ts := newTestServer(t, 1)
+	a := `{"kind":"estimate","estimate":{"graph":{"family":"hypercube","n":6},"p":0.7,"trials":4,"seed":1}}`
+	b := `{"kind":"estimate","estimate":{"graph":{"family":"hypercube","n":6},"p":0.7,"trials":4,"seed":2}}`
+	_, ra := postRaw(t, ts.URL, a)
+	_, rb := postRaw(t, ts.URL, b)
+	var sa, sb api.SubmitResponse
+	if err := json.Unmarshal(ra, &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rb, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Job.Key == sb.Job.Key {
+		t.Fatalf("distinct seeds produced one key %s", sa.Job.Key)
+	}
+	awaitJob(t, ts.URL, sa.Job.ID)
+	awaitJob(t, ts.URL, sb.Job.ID)
+	if _, hit := postRaw(t, ts.URL, a); !bytes.Contains(hit, []byte(sa.Job.Key)) {
+		t.Fatalf("resubmit of a returned someone else's job: %s", hit)
+	}
+	if _, hit := postRaw(t, ts.URL, b); !bytes.Contains(hit, []byte(sb.Job.Key)) {
+		t.Fatalf("resubmit of b returned someone else's job: %s", hit)
+	}
+}

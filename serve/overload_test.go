@@ -1,0 +1,129 @@
+package serve_test
+
+// Sustained-overload test: a burst of distinct submissions far past
+// queue capacity must split cleanly into accepted jobs and Retry-After
+// 503s, the rejected outcome counter must account for every 503, and
+// once the queue drains and the service closes no goroutine may be
+// left behind. Run under -race this patrols the whole backpressure
+// path: concurrent Submit, queue-full rejection, metrics counters and
+// executor shutdown.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"faultroute/api"
+	"faultroute/serve"
+)
+
+func TestSustainedOverloadRejectsThenDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc := serve.New(serve.Options{Workers: 1, Executors: 1, QueueDepth: 2})
+	ts := httptest.NewServer(svc.Handler())
+	hc := &http.Client{}
+
+	// 48 distinct ~30ms estimates against 1 executor + 2 queue slots:
+	// the burst arrives faster than the queue can drain, so most of it
+	// must bounce. Distinct seeds keep coalescing out of the picture —
+	// every submission wants a fresh execution slot.
+	const burst = 48
+	type outcome struct {
+		code       int
+		retryAfter string
+		id         string
+	}
+	outcomes := make([]outcome, burst)
+	var wg sync.WaitGroup
+	for i := range outcomes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"kind":"estimate","estimate":{
+				"graph":{"family":"hypercube","n":10},
+				"p":0.7,"trials":256,"seed":%d},"workers":1}`, i+1)
+			resp, err := hc.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outcomes[i] = outcome{code: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+			if resp.StatusCode == http.StatusAccepted {
+				var sub api.SubmitResponse
+				if err := json.Unmarshal(data, &sub); err != nil {
+					t.Errorf("decoding accepted submit: %v", err)
+					return
+				}
+				outcomes[i].id = sub.Job.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var accepted, rejected int
+	for i, o := range outcomes {
+		switch o.code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusServiceUnavailable:
+			rejected++
+			if o.retryAfter == "" {
+				t.Errorf("submission %d: 503 without a Retry-After header", i)
+			}
+		default:
+			t.Errorf("submission %d: unexpected status %d", i, o.code)
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("burst split accepted=%d rejected=%d; overload needs both", accepted, rejected)
+	}
+
+	// Drain: every accepted job must still run to completion — overload
+	// sheds new load, it never corrupts admitted work.
+	for _, o := range outcomes {
+		if o.id == "" {
+			continue
+		}
+		if st := awaitJob(t, ts.URL, o.id); st.State != api.JobDone {
+			t.Errorf("accepted job %s finished %s: %s", o.id, st.State, st.Error)
+		}
+	}
+
+	// The rejected counter must account for exactly the 503s we saw.
+	text := scrape(t, ts.URL)
+	wantLine(t, text, fmt.Sprintf(`faultroute_jobs_submitted_total{outcome="rejected"} %d`, rejected))
+	wantLine(t, text, fmt.Sprintf(`faultroute_jobs_submitted_total{outcome="fresh"} %d`, accepted))
+
+	// Tear everything down and require the goroutine count to settle
+	// back to the pre-test baseline: a leaked executor, SSE ticker or
+	// per-job context would hold the count up forever.
+	ts.Close()
+	svc.Close()
+	hc.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after drain\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

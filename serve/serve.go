@@ -15,12 +15,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"faultroute/api"
@@ -57,6 +60,12 @@ type Options struct {
 	EventInterval time.Duration
 }
 
+// retryAfterSeconds is the Retry-After hint on queue-full 503s. One
+// second is deliberately coarse: the queue drains at job-execution
+// granularity, and a finer hint would just synchronize rejected clients
+// into retry waves (the client adds its own jitter on top).
+const retryAfterSeconds = 1
+
 // Service owns one engine + store pair and serves the HTTP API.
 type Service struct {
 	engine        *jobs.Engine
@@ -65,6 +74,7 @@ type Service struct {
 	logger        *slog.Logger
 	eventInterval time.Duration
 	metrics       *serviceMetrics
+	memo          *submitMemo
 }
 
 // New starts a service. Close it when done to drain the executors.
@@ -88,6 +98,7 @@ func New(opts Options) *Service {
 		workers:       opts.Workers,
 		logger:        opts.Logger,
 		eventInterval: opts.EventInterval,
+		memo:          newSubmitMemo(),
 	}
 	s.metrics = newServiceMetrics(s)
 	return s
@@ -150,35 +161,62 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // address + task) and either coalesces onto existing work or enqueues a
 // fresh job. The compiled task is wrapped so every executed job feeds
 // the per-kind latency histogram and terminal-state counters.
+//
+// Duplicate submissions — byte-identical bodies, the shape of a
+// popularity-skewed fleet — take the memo fast path: the first
+// submission's compile outcome is reused, and once the job is done the
+// pre-encoded response is served without decoding the body or taking
+// the engine lock at all. See memo.go.
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req api.Request
-	if err := dec.Decode(&req); err != nil {
-		s.metrics.submitted.With("invalid").Inc()
-		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
-		return
-	}
-	if req.Workers <= 0 {
-		req.Workers = s.workers
-	}
-	plan, err := api.Compile(req)
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		s.metrics.submitted.With("invalid").Inc()
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "reading job request: %v", err)
 		return
 	}
-	kind, task := plan.Request.Kind, plan.Task
+	ent := s.memo.get(body)
+	if ent == nil {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var req api.Request
+		if err := dec.Decode(&req); err != nil {
+			s.metrics.submitted.With("invalid").Inc()
+			writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+			return
+		}
+		if req.Workers <= 0 {
+			req.Workers = s.workers
+		}
+		plan, err := api.Compile(req)
+		if err != nil {
+			s.metrics.submitted.With("invalid").Inc()
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ent = &memoEntry{key: plan.Key, total: plan.Total, kind: plan.Request.Kind, task: plan.Task}
+		s.memo.put(body, ent)
+	} else if frozen := ent.resp.Load(); frozen != nil {
+		s.metrics.submitted.With("cached").Inc()
+		annotate(r, frozen.jobID, ent.key)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(frozen.body)
+		return
+	}
+	kind, task := ent.kind, ent.task
 	instrumented := func(ctx context.Context, progress func(int)) ([]byte, error) {
 		start := time.Now()
 		data, err := task(ctx, progress)
 		s.metrics.observeJob(kind, start, err)
 		return data, err
 	}
-	job, fresh, err := s.engine.Submit(plan.Key, plan.Total, instrumented)
+	job, fresh, err := s.engine.Submit(ent.key, ent.total, instrumented)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
 		s.metrics.submitted.With("rejected").Inc()
+		// Backpressure, not failure: tell well-behaved clients when to
+		// come back instead of letting their exponential backoff guess.
+		// client.Client honors the header (capped by its backoff ceiling).
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -204,6 +242,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if fresh {
 		status = http.StatusAccepted
+	}
+	if resp.Cached {
+		// The job is terminal and its status frozen: encode once, freeze
+		// the bytes on the memo entry, and serve every later duplicate
+		// from them.
+		if b, err := json.Marshal(resp); err == nil {
+			b = append(b, '\n')
+			ent.resp.Store(&memoResp{body: b, jobID: job.ID()})
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write(b)
+			return
+		}
 	}
 	writeJSON(w, status, resp)
 }
