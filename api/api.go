@@ -222,6 +222,27 @@ type Health struct {
 	Results int    `json:"results"`
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
+	// Tiers breaks the result store down per tier, fastest first
+	// ("memory", then "disk" when the daemon runs with -cache-dir).
+	// Daemons predating tiered stores omit the field.
+	Tiers []TierHealth `json:"tiers,omitempty"`
+}
+
+// TierHealth is one result-store tier's statistics in Health.
+type TierHealth struct {
+	// Tier names the tier: "memory" or "disk".
+	Tier string `json:"tier"`
+	// Entries is the number of resident results.
+	Entries int `json:"entries"`
+	// Bytes is the resident payload weight.
+	Bytes int64 `json:"bytes"`
+	// Hits and Misses count the tier's own lookup outcomes; a lookup
+	// that falls through memory to disk counts in both tiers.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries the tier removed: LRU eviction for the
+	// memory tier, quarantined corrupt files for the disk tier.
+	Evictions uint64 `json:"evictions"`
 }
 
 // ExperimentInfo is one machine-readable registry entry of

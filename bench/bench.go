@@ -394,6 +394,7 @@ func runCell(ctx context.Context, target *Target, cell Cell, opts Options, cellI
 			"rejected":   rejected,
 			"absorbed":   absorbed,
 			"cache-hits": delta.Sum("faultroute_cache_hits_total"),
+			"evictions":  delta.Sum("faultroute_cache_tier_evictions_total"),
 			"http-reqs":  delta.Sum("faultroute_http_requests_total"),
 		},
 	}

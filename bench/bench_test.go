@@ -94,6 +94,53 @@ func TestSweepAgainstInProcessService(t *testing.T) {
 	}
 }
 
+// TestSmokePresetBoundedStoreEvicts runs the CI smoke preset exactly as
+// cmd/faultbench would — self-hosted over its byte-bounded store — and
+// asserts the bounded-store contract end to end: zero op failures, the
+// memory tier's resident bytes at or under the budget, and at least one
+// eviction visible in the final scrape (the second cell's catalog must
+// push the first cell's cold entries out).
+func TestSmokePresetBoundedStoreEvicts(t *testing.T) {
+	p, err := PresetByName("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := SelfHost(p.Serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, target, p.Grid.Cells(), p.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictions := 0.0
+	for i, row := range rep.Benchmarks {
+		if row.Metrics["errors"] != 0 {
+			t.Errorf("row %d (%s): %v ops failed", i, row.Name, row.Metrics["errors"])
+		}
+		evictions += row.Metrics["evictions"]
+	}
+	if evictions == 0 {
+		t.Error("smoke preset evicted nothing; the store bound is not exercising the LRU")
+	}
+
+	final, err := ScrapeURL(ctx, target.hc, target.URLs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesResident := final.Label("faultroute_cache_tier_bytes", "tier", "memory")
+	if bytesResident <= 0 || bytesResident > smokeCacheBytes {
+		t.Errorf("memory tier holds %v bytes, want in (0, %d]", bytesResident, smokeCacheBytes)
+	}
+	if got := final.Label("faultroute_cache_tier_evictions_total", "tier", "memory"); got == 0 {
+		t.Error("final scrape shows no memory-tier evictions")
+	}
+}
+
 // TestRunAssertsMinAbsorbed pins the preset assertion path: a cold,
 // all-distinct workload (catalog == ops) cannot meet a high absorbed
 // floor and must fail the run with a diagnostic.

@@ -5,8 +5,18 @@ import (
 	"strings"
 
 	"faultroute/api"
+	"faultroute/internal/cache"
 	"faultroute/serve"
 )
+
+// smokeCacheBytes is the smoke preset's memory-tier budget. It is sized
+// to hold one cell's full catalog (8 specs at ~205 bytes each) but not
+// both cells' combined footprint, so the sweep demonstrably evicts —
+// the eviction counters land in the final scrape — while every evicted
+// entry belongs to an already-finished cell and is never fetched again
+// (cells never share specs, see catalogSpec), keeping the run
+// deterministic.
+const smokeCacheBytes = 1800
 
 // Preset is a named, self-contained sweep: the grid, the run options,
 // and the self-host sizing to use when no external targets are given.
@@ -38,8 +48,8 @@ func Presets() []Preset {
 		},
 		{
 			Name: "smoke",
-			Description: "tiny two-cell grid (cold catalog vs duplicate-heavy) for CI: " +
-				"exercises the whole harness path in seconds",
+			Description: "tiny two-cell grid (cold catalog vs duplicate-heavy) for CI over a byte-bounded " +
+				"result store: exercises the whole harness path, LRU eviction included, in seconds",
 			Grid: Grid{
 				Clients:  []int{4},
 				Trials:   []int{8},
@@ -48,7 +58,7 @@ func Presets() []Preset {
 				Zipfs:    []float64{1.1},
 				Ops:      40,
 			},
-			Serve: serve.Options{Executors: 2, QueueDepth: 32},
+			Serve: serve.Options{Executors: 2, QueueDepth: 32, Store: cache.NewBounded(smokeCacheBytes)},
 		},
 	}
 }

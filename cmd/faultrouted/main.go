@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"faultroute/internal/cache"
 	"faultroute/serve"
 )
 
@@ -66,6 +67,8 @@ func run(args []string) error {
 		executors = fs.Int("executors", 2, "jobs executed concurrently")
 		depth     = fs.Int("queue", 64, "submission queue depth; submissions beyond it get 503")
 		logMode   = fs.String("log", "off", "structured request logs on stderr: text, json, or off")
+		cacheMax  = fs.Int64("cache-max-bytes", 0, "memory result-cache budget in bytes; above it the least-recently-used results are evicted (0 = unbounded)")
+		cacheDir  = fs.String("cache-dir", "", "directory for the persistent disk result tier; results survive restarts (empty = memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -84,11 +87,29 @@ func run(args []string) error {
 		return fmt.Errorf("unknown -log mode %q (want text, json or off)", *logMode)
 	}
 
+	// The result store stacks up from the flags: a bounded (or
+	// unbounded) memory tier always, a persistent disk tier in front
+	// of nothing — behind memory — when -cache-dir is set. Every tier
+	// serves the same content-addressed bytes, so the stack choice is
+	// pure capacity: restarts with a -cache-dir recover every prior
+	// result as a cache hit.
+	mem := cache.NewBounded(*cacheMax)
+	var store cache.ResultStore = mem
+	if *cacheDir != "" {
+		disk, err := cache.NewDisk(*cacheDir)
+		if err != nil {
+			return fmt.Errorf("opening -cache-dir: %w", err)
+		}
+		store = cache.NewTiered(mem, disk)
+		fmt.Printf("faultrouted: disk cache %s recovered %d result(s)\n", *cacheDir, disk.Len())
+	}
+
 	svc := serve.New(serve.Options{
 		Workers:    *workers,
 		Executors:  *executors,
 		QueueDepth: *depth,
 		Logger:     logger,
+		Store:      store,
 	})
 	defer svc.Close()
 

@@ -30,6 +30,12 @@
 // simply re-dispatches the shard to a surviving backend — the retried
 // range recomputes the identical rows. Backends that fail are skipped
 // for a cooldown period; selection is round-robin over the healthy set.
+//
+// The same determinism powers peer cache fill (on by default, see
+// WithPeerFill): before dispatching a sub-job the Pool probes the
+// surviving backends' GET /v1/results/{key} under a short deadline, and
+// any backend that already holds the content-addressed result answers
+// the sub-job outright — no job submitted, no trials recomputed.
 package dispatch
 
 import (
@@ -59,6 +65,10 @@ var (
 		"Sub-jobs re-dispatched to another backend after a transient failure.")
 	mBackendsDown = metrics.Process().Counter("faultroute_dispatch_backends_down_total",
 		"Backends marked down for a cooldown after a failed probe or sub-job.")
+	mPeerProbes = metrics.Process().Counter("faultroute_dispatch_peer_probes_total",
+		"Peer result-cache probes (GET /v1/results/{key}) issued before dispatching sub-jobs.")
+	mPeerFills = metrics.Process().Counter("faultroute_dispatch_peer_fills_total",
+		"Sub-jobs answered from a peer backend's result cache, no work dispatched.")
 )
 
 // Pool dispatches requests across a fixed set of faultrouted backends.
@@ -73,6 +83,8 @@ type Pool struct {
 	shardTrials int
 	attempts    int
 	cooldown    time.Duration
+	peerFill    bool
+	peerTimeout time.Duration
 }
 
 // backend is one faultrouted base URL plus its health mark.
@@ -110,6 +122,8 @@ type settings struct {
 	maxInFlight int
 	attempts    int
 	cooldown    time.Duration
+	peerFill    bool
+	peerTimeout time.Duration
 }
 
 // WithClientOptions forwards options (poll interval, retry policy, HTTP
@@ -143,6 +157,22 @@ func WithAttempts(n int) Option { return func(s *settings) { s.attempts = n } }
 // every backend is marked down).
 func WithCooldown(d time.Duration) Option { return func(s *settings) { s.cooldown = d } }
 
+// WithPeerFill enables or disables peer cache fill (default on, in
+// pools with at least two backends): before dispatching a sub-job, the
+// Pool probes every surviving backend's GET /v1/results/{key} under a
+// short deadline, and any hit IS the sub-job's answer — by the
+// determinism contract the stored bytes are exactly what a
+// recomputation would produce — so a shard a sibling already holds
+// costs one GET instead of a job. Misses fall through to a normal
+// dispatch; the probe can therefore change throughput but never bytes.
+func WithPeerFill(enabled bool) Option { return func(s *settings) { s.peerFill = enabled } }
+
+// WithPeerProbeTimeout bounds how long a peer-fill probe may take
+// before the Pool gives up and dispatches the sub-job normally (<= 0
+// restores the default of 250ms). The deadline is what keeps a dead
+// peer from stalling fresh work.
+func WithPeerProbeTimeout(d time.Duration) Option { return func(s *settings) { s.peerTimeout = d } }
+
 // ParseBackends splits a comma-separated backend list — the form the
 // CLIs' -backends flag takes — into base URLs, trimming whitespace and
 // dropping empty entries.
@@ -163,7 +193,7 @@ func New(targets []string, opts ...Option) (*Pool, error) {
 	if len(targets) == 0 {
 		return nil, errors.New("dispatch: no backends configured")
 	}
-	s := settings{cooldown: 15 * time.Second}
+	s := settings{cooldown: 15 * time.Second, peerFill: true}
 	for _, opt := range opts {
 		opt(&s)
 	}
@@ -173,12 +203,17 @@ func New(targets []string, opts ...Option) (*Pool, error) {
 	if s.attempts <= 0 {
 		s.attempts = len(targets) + 1
 	}
+	if s.peerTimeout <= 0 {
+		s.peerTimeout = 250 * time.Millisecond
+	}
 	p := &Pool{
 		backends:    make([]*backend, len(targets)),
 		sem:         make(chan struct{}, s.maxInFlight),
 		shardTrials: s.shardTrials,
 		attempts:    s.attempts,
 		cooldown:    s.cooldown,
+		peerFill:    s.peerFill && len(targets) > 1,
+		peerTimeout: s.peerTimeout,
 	}
 	for i, url := range targets {
 		p.backends[i] = &backend{url: url, c: client.New(url, s.clientOpts...)}
@@ -416,6 +451,17 @@ func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *agg
 	}
 	defer func() { <-p.sem }()
 
+	// Peer cache fill: a sibling backend may already hold this sub-job's
+	// content-addressed result — from an earlier run, an overlapping
+	// request, or a previous shard layout that happened to align. One
+	// cheap GET then replaces a full submit/poll/fetch round.
+	if p.peerFill {
+		if res, total, ok := p.probePeers(ctx, req); ok {
+			agg.observe(slot, total)
+			return res, nil
+		}
+	}
+
 	var lastErr error
 	tried := make(map[*backend]bool, p.attempts)
 	for attempt := 0; attempt < p.attempts; attempt++ {
@@ -445,6 +491,54 @@ func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *agg
 		lastErr = err
 	}
 	return api.Result{}, fmt.Errorf("dispatch: sub-job failed on %d backend(s): %w", len(tried), lastErr)
+}
+
+// probePeers asks every surviving backend, concurrently and under the
+// pool's probe deadline, whether it already holds the sub-job's result
+// (GET /v1/results/{key} of the locally compiled content address). The
+// first hit wins; shard results are validated against the requested
+// range first, exactly like dispatched ones, so a skewed peer copy
+// falls through to a normal dispatch instead of merging wrong bytes.
+// Returns the result, the sub-job's total trial count (for the progress
+// aggregator), and whether any peer answered.
+func (p *Pool) probePeers(ctx context.Context, req api.Request) (api.Result, int64, bool) {
+	plan, err := api.Compile(req)
+	if err != nil {
+		return api.Result{}, 0, false // let dispatch surface the compile error
+	}
+	pctx, cancel := context.WithTimeout(ctx, p.peerTimeout)
+	defer cancel()
+	ch := make(chan []byte, len(p.backends))
+	probed := 0
+	for _, b := range p.backends {
+		if !b.up() {
+			continue // a probe to a down backend would just eat the deadline
+		}
+		probed++
+		mPeerProbes.Inc()
+		go func(b *backend) {
+			body, err := b.c.Result(pctx, plan.Key)
+			if err != nil {
+				body = nil // misses (404) and dead peers look the same here
+			}
+			ch <- body
+		}(b)
+	}
+	for i := 0; i < probed; i++ {
+		body := <-ch
+		if body == nil {
+			continue
+		}
+		res := api.Result{Kind: req.Kind, Key: plan.Key, Body: body}
+		if spec := req.Estimate; req.Kind == api.KindEstimate && spec != nil && spec.Shard != nil {
+			if _, err := mustShard(res, *spec.Shard); err != nil {
+				continue
+			}
+		}
+		mPeerFills.Inc()
+		return res, plan.Total, true
+	}
+	return api.Result{}, 0, false
 }
 
 // pick selects the next backend round-robin, preferring backends that

@@ -1,0 +1,122 @@
+package dispatch_test
+
+// Peer cache fill tests: a pool facing backends that already hold a
+// request's shard results must answer from their caches — one GET per
+// shard, zero job submissions — and still return bytes identical to
+// faultroute.Local.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"faultroute"
+	"faultroute/api"
+	"faultroute/dispatch"
+)
+
+// countSubmits wraps a backend handler, counting POST /v1/jobs calls.
+func countSubmits(n *atomic.Int64) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+				n.Add(1)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+func TestPoolPeerFillSkipsWarmShards(t *testing.T) {
+	var subsA, subsB atomic.Int64
+	warm := newBackend(t, countSubmits(&subsA))
+	cold := newBackend(t, countSubmits(&subsB))
+	ctx := context.Background()
+	req := estimateReq(30)
+
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the first backend through a single-backend pool with the same
+	// fixed shard size: afterward it holds every shard's result. (A
+	// single-backend pool never peer-probes — there is no peer.)
+	warmPool := newPool(t, []string{warm.srv.URL}, dispatch.WithShardTrials(4))
+	if _, err := warmPool.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	warmed := subsA.Load()
+	if warmed == 0 {
+		t.Fatal("warm-up run submitted no jobs")
+	}
+
+	probesBefore := scrapeCounter(t, warm.srv.URL, "faultroute_dispatch_peer_probes_total")
+	fillsBefore := scrapeCounter(t, warm.srv.URL, "faultroute_dispatch_peer_fills_total")
+
+	// A fresh two-backend pool, same shard layout: every shard's result
+	// already sits in the warm backend's cache, so peer fill must answer
+	// the whole request without submitting a single job anywhere.
+	pool := newPool(t, []string{cold.srv.URL, warm.srv.URL}, dispatch.WithShardTrials(4))
+	var last api.Event
+	got, err := pool.Watch(ctx, req, func(ev api.Event) { last = ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != want.Key || !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("peer-filled result differs from local:\n got %s %s\nwant %s %s",
+			got.Key, got.Body, want.Key, want.Body)
+	}
+	if subsA.Load() != warmed || subsB.Load() != 0 {
+		t.Fatalf("peer-filled run submitted jobs: warm backend %d (want %d), cold backend %d (want 0)",
+			subsA.Load(), warmed, subsB.Load())
+	}
+	if last.State != api.JobDone || last.Done != int64(req.Estimate.Trials) {
+		t.Fatalf("final event %+v, want done with %d trials", last, req.Estimate.Trials)
+	}
+
+	// 30 trials in shards of 4 is eight sub-jobs: eight fills, and at
+	// least one probe each (both backends are probed concurrently).
+	if delta := scrapeCounter(t, warm.srv.URL, "faultroute_dispatch_peer_fills_total") - fillsBefore; delta != 8 {
+		t.Errorf("peer fills delta = %v, want 8", delta)
+	}
+	if delta := scrapeCounter(t, warm.srv.URL, "faultroute_dispatch_peer_probes_total") - probesBefore; delta < 8 {
+		t.Errorf("peer probes delta = %v, want >= 8", delta)
+	}
+}
+
+func TestPoolPeerFillDisabled(t *testing.T) {
+	var subs atomic.Int64
+	warm := newBackend(t, nil)
+	counted := newBackend(t, countSubmits(&subs))
+	ctx := context.Background()
+	req := estimateReq(20)
+
+	warmPool := newPool(t, []string{warm.srv.URL}, dispatch.WithShardTrials(4))
+	want, err := warmPool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probesBefore := scrapeCounter(t, warm.srv.URL, "faultroute_dispatch_peer_probes_total")
+	pool := newPool(t, []string{warm.srv.URL, counted.srv.URL},
+		dispatch.WithShardTrials(4), dispatch.WithPeerFill(false))
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatal("bytes differ with peer fill disabled")
+	}
+	// No probes happened, and the shards round-robined across both
+	// backends as plain submissions (the warm backend answers its share
+	// from cache via the normal submit path, not via peer fill).
+	if delta := scrapeCounter(t, warm.srv.URL, "faultroute_dispatch_peer_probes_total") - probesBefore; delta != 0 {
+		t.Errorf("peer probes delta = %v with peer fill disabled, want 0", delta)
+	}
+	if subs.Load() == 0 {
+		t.Error("cold backend received no submissions with peer fill disabled")
+	}
+}

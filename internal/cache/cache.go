@@ -9,6 +9,22 @@
 // lets the job engine coalesce duplicate submissions onto one in-flight
 // computation and serve repeat queries in O(1) without ever validating a
 // cached entry against a recomputation.
+//
+// The store is tiered. Three implementations of ResultStore cooperate:
+//
+//   - Store is the in-memory tier: a bytes-bounded LRU map (an
+//     unbounded map when the bound is zero). It is the only tier a
+//     default daemon runs.
+//   - Disk is the persistent tier: one content-addressed file per
+//     result, written atomically and verified on read, so results
+//     survive daemon restarts and corrupt or truncated entries degrade
+//     to misses rather than wrong bytes.
+//   - Tiered stacks the two: memory in front, disk behind, with hits
+//     promoted back into memory.
+//
+// Because every entry is exact, eviction and persistence are pure
+// capacity decisions — no tier ever needs to validate an entry against
+// a recomputation, and any mix of tiers serves byte-identical answers.
 package cache
 
 import (
@@ -16,8 +32,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"sync"
-	"sync/atomic"
 )
 
 // Key returns the content address of (kind, spec): the lowercase-hex
@@ -41,54 +55,76 @@ func Key(kind string, spec any) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// Store is an in-memory content-addressed result store, safe for
-// concurrent use. Values are copied on Put; the slice returned by Get is
-// shared and must be treated as read-only.
-type Store struct {
-	mu     sync.RWMutex
-	m      map[string][]byte
-	hits   atomic.Uint64
-	misses atomic.Uint64
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{m: make(map[string][]byte)}
-}
-
-// Get returns the result stored under key, or ok=false on a miss.
-func (s *Store) Get(key string) (val []byte, ok bool) {
-	s.mu.RLock()
-	val, ok = s.m[key]
-	s.mu.RUnlock()
-	if ok {
-		s.hits.Add(1)
-	} else {
-		s.misses.Add(1)
+// ValidKey reports whether key has the shape Key produces: exactly 64
+// lowercase hex characters. The disk tier uses keys as file names, so
+// anything else — path separators above all — must be rejected before
+// it reaches the filesystem.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
 	}
-	return val, ok
-}
-
-// Put stores a copy of val under key. Keys are content addresses of
-// deterministic computations, so overwriting an existing entry is a
-// no-op by construction; Put keeps the first value to make that explicit.
-func (s *Store) Put(key string, val []byte) {
-	cp := append([]byte(nil), val...)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.m[key]; !exists {
-		s.m[key] = cp
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
 	}
+	return true
 }
 
-// Len returns the number of stored results.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+// ResultStore is the contract the serving layer consumes: the job
+// engine publishes result bytes under their content address, and the
+// HTTP layer and the engine's coalescing read them back. *Store,
+// *Disk and *Tiered implement it; all three are safe for concurrent
+// use.
+type ResultStore interface {
+	// Get returns the result stored under key, or ok=false on a miss.
+	// The returned slice is the caller's to keep: implementations
+	// return a private copy (or otherwise never-mutated bytes), so a
+	// concurrent eviction or a scribbling caller can never corrupt
+	// what later readers observe.
+	Get(key string) (val []byte, ok bool)
+	// Put stores a copy of val under key. Keys are content addresses
+	// of deterministic computations, so the first stored value wins
+	// and later Puts of the same key are no-ops.
+	Put(key string, val []byte)
+	// Has reports whether key is resident, without counting a hit or
+	// a miss and without touching recency — the presence probe layers
+	// like the job engine use to check that stored bytes still back a
+	// remembered job.
+	Has(key string) bool
+	// Len returns the number of stored results.
+	Len() int
+	// Stats returns the cumulative hit and miss counts of Get.
+	Stats() (hits, misses uint64)
+	// Tiers returns per-tier statistics, fastest tier first.
+	Tiers() []TierStats
 }
 
-// Stats returns the cumulative hit and miss counts of Get.
-func (s *Store) Stats() (hits, misses uint64) {
-	return s.hits.Load(), s.misses.Load()
+// TierStats is one tier's point-in-time statistics, as surfaced by
+// GET /v1/healthz and the faultroute_cache_tier_* metric series.
+type TierStats struct {
+	// Tier names the tier: "memory" or "disk".
+	Tier string
+	// Entries is the number of resident results.
+	Entries int
+	// Bytes is the resident payload weight (keys + values for the
+	// memory tier, payload bytes for the disk tier).
+	Bytes int64
+	// Hits and Misses count this tier's own Get outcomes — under a
+	// Tiered store a memory miss that the disk tier answers counts a
+	// memory-tier miss AND a disk-tier hit, while the store-wide
+	// Stats count one hit.
+	Hits, Misses uint64
+	// Evictions counts entries removed to stay within the tier's
+	// bound (memory: LRU eviction; disk: corrupt entries quarantined
+	// at read).
+	Evictions uint64
 }
+
+// Compile-time checks: every tier satisfies the serving contract.
+var (
+	_ ResultStore = (*Store)(nil)
+	_ ResultStore = (*Disk)(nil)
+	_ ResultStore = (*Tiered)(nil)
+)

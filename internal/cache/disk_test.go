@@ -1,0 +1,262 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiskRoundTripAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := key64(1)
+	d.Put(key, []byte(`{"mean":12.5}`))
+	if v, ok := d.Get(key); !ok || string(v) != `{"mean":12.5}` {
+		t.Fatalf("round trip: %q, %v", v, ok)
+	}
+	// First write wins.
+	d.Put(key, []byte("other"))
+	if v, _ := d.Get(key); string(v) != `{"mean":12.5}` {
+		t.Fatalf("Put overwrote an existing entry: %q", v)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+
+	// A fresh Disk over the same directory — the restart path — must
+	// recover the entry without any help.
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d2.Get(key); !ok || string(v) != `{"mean":12.5}` {
+		t.Fatalf("entry did not survive reopen: %q, %v", v, ok)
+	}
+	if st := d2.Tiers()[0]; st.Entries != 1 || st.Bytes != int64(len(`{"mean":12.5}`)) {
+		t.Fatalf("recovered stats: %+v", st)
+	}
+}
+
+func TestDiskRejectsInvalidKeys(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		strings.Repeat("Z", 64),           // uppercase: not a produced key
+		strings.Repeat("a", 63) + "/",     // separator smuggling
+		"..%2f" + strings.Repeat("a", 59), // encoded separator
+		strings.Repeat("a", 32) + ".." + key64(0)[:30],
+	} {
+		d.Put(key, []byte("v"))
+		if _, ok := d.Get(key); ok {
+			t.Fatalf("invalid key %q round-tripped", key)
+		}
+		if d.Has(key) {
+			t.Fatalf("invalid key %q reported present", key)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("invalid keys left %d entries", d.Len())
+	}
+	// Nothing may have escaped the directory or landed in it.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("invalid keys created files: %v", entries)
+	}
+}
+
+// corrupt writes raw bytes directly into an entry's file.
+func corrupt(t *testing.T, dir, key string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diskEntryBytes builds a well-formed entry file for payload.
+func diskEntryBytes(payload []byte) []byte {
+	buf := make([]byte, diskHeaderLen+len(payload))
+	copy(buf, diskMagic)
+	binary.BigEndian.PutUint64(buf[4:12], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[12:], sum[:])
+	copy(buf[diskHeaderLen:], payload)
+	return buf
+}
+
+func TestDiskCorruptionQuarantine(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  func() []byte
+	}{
+		{"truncated mid-payload", func() []byte {
+			full := diskEntryBytes([]byte(`{"mean":12.5,"rows":[1,2,3]}`))
+			return full[:len(full)-5]
+		}},
+		{"wrong-length payload", func() []byte {
+			full := diskEntryBytes([]byte(`{"mean":12.5}`))
+			binary.BigEndian.PutUint64(full[4:12], uint64(len(full))) // lies about its size
+			return full
+		}},
+		{"flipped payload bit", func() []byte {
+			full := diskEntryBytes([]byte(`{"mean":12.5}`))
+			full[diskHeaderLen] ^= 0x01
+			return full
+		}},
+		{"wrong magic", func() []byte {
+			full := diskEntryBytes([]byte(`{"mean":12.5}`))
+			copy(full, "XXXX")
+			return full
+		}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := NewDisk(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := key64(100 + i)
+			d.Put(key, []byte(`{"mean":12.5}`))
+			corrupt(t, dir, key, tc.raw())
+
+			// A fresh open sees the file; the corruption must surface as
+			// a miss plus a quarantine, never as bytes.
+			d2, err := NewDisk(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := d2.Get(key); ok {
+				t.Fatalf("corrupt entry served: %q", v)
+			}
+			if st := d2.Tiers()[0]; st.Evictions != 1 || st.Entries != 0 {
+				t.Fatalf("quarantine stats: %+v", st)
+			}
+			// The key is re-writable and the quarantined bytes survive
+			// for inspection.
+			if _, err := os.Stat(filepath.Join(dir, key+quarantineSuffix)); err != nil {
+				t.Fatalf("quarantined file missing: %v", err)
+			}
+			d2.Put(key, []byte(`{"mean":12.5}`))
+			if _, ok := d2.Get(key); !ok {
+				t.Fatal("key not re-writable after quarantine")
+			}
+		})
+	}
+}
+
+func TestDiskRecoveryScan(t *testing.T) {
+	dir := t.TempDir()
+	// Seed a valid entry, a sub-header truncated entry, crash debris,
+	// and a file whose name is not a key.
+	good, short := key64(1), key64(2)
+	corrupt(t, dir, good, diskEntryBytes([]byte("payload")))
+	corrupt(t, dir, short, []byte("tiny"))
+	corrupt(t, dir, "tmp-123456", []byte("half-written"))
+	corrupt(t, dir, "README.txt", []byte("not an entry"))
+
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Get(good); !ok || string(v) != "payload" {
+		t.Fatalf("good entry: %q, %v", v, ok)
+	}
+	if _, ok := d.Get(short); ok {
+		t.Fatal("sub-header entry served")
+	}
+	if st := d.Tiers()[0]; st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("scan stats: %+v", st)
+	}
+	// tmp debris removed, foreign file untouched, short entry quarantined.
+	if _, err := os.Stat(filepath.Join(dir, "tmp-123456")); !os.IsNotExist(err) {
+		t.Fatal("crash debris not cleaned up")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatal("foreign file was touched")
+	}
+	if _, err := os.Stat(filepath.Join(dir, short+quarantineSuffix)); err != nil {
+		t.Fatal("truncated entry not quarantined")
+	}
+}
+
+func TestTieredPromotionAndStats(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewBounded(0)
+	ts := NewTiered(mem, disk)
+	key := key64(7)
+	ts.Put(key, []byte("answer"))
+	if !mem.Has(key) || !disk.Has(key) {
+		t.Fatal("Put did not write through both tiers")
+	}
+
+	// A cold memory tier (fresh restart) must fall back to disk and
+	// promote the hit.
+	mem2 := NewBounded(0)
+	ts2 := NewTiered(mem2, disk)
+	if v, ok := ts2.Get(key); !ok || string(v) != "answer" {
+		t.Fatalf("disk fallback: %q, %v", v, ok)
+	}
+	if !mem2.Has(key) {
+		t.Fatal("disk hit was not promoted into memory")
+	}
+	if hits, misses := ts2.Stats(); hits != 1 || misses != 0 {
+		t.Fatalf("store-wide stats = (%d, %d), want (1, 0)", hits, misses)
+	}
+	tiers := ts2.Tiers()
+	if len(tiers) != 2 || tiers[0].Tier != "memory" || tiers[1].Tier != "disk" {
+		t.Fatalf("tier order: %+v", tiers)
+	}
+	if tiers[0].Misses != 1 || tiers[1].Hits != 1 {
+		t.Fatalf("per-tier travel: %+v", tiers)
+	}
+	// Second Get is a pure memory hit.
+	if _, ok := ts2.Get(key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if tiers := ts2.Tiers(); tiers[0].Hits != 1 || tiers[1].Hits != 1 {
+		t.Fatalf("after promotion: %+v", tiers)
+	}
+
+	if _, ok := ts2.Get(key64(8)); ok {
+		t.Fatal("phantom hit")
+	}
+	if _, misses := ts2.Stats(); misses != 1 {
+		t.Fatalf("store-wide misses = %d, want 1", misses)
+	}
+	if !ts2.Has(key) || ts2.Has(key64(8)) {
+		t.Fatal("tiered Has misreported")
+	}
+	if ts2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ts2.Len())
+	}
+}
+
+func TestTieredMemoryOnly(t *testing.T) {
+	ts := NewTiered(nil, nil)
+	ts.Put("k", []byte("v"))
+	if v, ok := ts.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("memory-only tiered: %q, %v", v, ok)
+	}
+	if n := len(ts.Tiers()); n != 1 {
+		t.Fatalf("memory-only tier count = %d", n)
+	}
+}

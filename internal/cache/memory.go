@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the in-memory result tier: a content-addressed map with an
+// optional byte bound enforced by least-recently-used eviction. It is
+// safe for concurrent use.
+//
+// Entries are copied on Put and on Get, so neither a caller writing
+// into a returned slice nor a concurrent eviction can corrupt what
+// later readers observe. An entry's cost is len(key)+len(value); when
+// a bound is set, inserting past it evicts from the cold end until the
+// store fits again, and the resident byte count never exceeds the
+// bound at any observable moment.
+type Store struct {
+	maxBytes int64 // 0 = unbounded
+
+	mu         sync.Mutex
+	m          map[string]*memEntry
+	head, tail *memEntry // recency list: head = hottest, tail = eviction victim
+	bytes      int64
+	evictions  uint64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// memEntry is one resident result on the recency list.
+type memEntry struct {
+	key        string
+	val        []byte
+	cost       int64
+	prev, next *memEntry
+}
+
+// NewStore returns an empty, unbounded store — the default tier of a
+// daemon run without a cache budget.
+func NewStore() *Store { return NewBounded(0) }
+
+// NewBounded returns an empty store that evicts least-recently-used
+// entries to keep its resident bytes at or below maxBytes (<= 0 keeps
+// it unbounded). A single value larger than the bound is refused
+// outright — admitting it would require evicting everything and then
+// still violate the bound — and counts as an eviction of itself.
+func NewBounded(maxBytes int64) *Store {
+	return &Store{maxBytes: maxBytes, m: make(map[string]*memEntry)}
+}
+
+// Get returns a copy of the result stored under key, or ok=false on a
+// miss. A hit refreshes the entry's recency.
+func (s *Store) Get(key string) (val []byte, ok bool) {
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if ok {
+		s.moveToFront(e)
+		val = e.val
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	// Stored values are immutable once inserted, so the copy can
+	// happen outside the lock.
+	return append([]byte(nil), val...), true
+}
+
+// Put stores a copy of val under key. The first value wins — results
+// are deterministic, so a second Put of the same key only refreshes
+// recency.
+func (s *Store) Put(key string, val []byte) {
+	cost := int64(len(key) + len(val))
+	if s.maxBytes > 0 && cost > s.maxBytes {
+		// Too large to ever fit: refuse it rather than flush the whole
+		// store for an entry that would still violate the bound.
+		s.mu.Lock()
+		s.evictions++
+		s.mu.Unlock()
+		return
+	}
+	cp := append([]byte(nil), val...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, exists := s.m[key]; exists {
+		s.moveToFront(e)
+		return
+	}
+	e := &memEntry{key: key, val: cp, cost: cost}
+	s.m[key] = e
+	s.pushFront(e)
+	s.bytes += cost
+	for s.maxBytes > 0 && s.bytes > s.maxBytes {
+		// cost <= maxBytes, so the loop always terminates before it
+		// could reach the entry just inserted.
+		s.evict(s.tail)
+	}
+}
+
+// Has reports whether key is resident, without counting a hit or miss
+// and without refreshing recency.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	_, ok := s.m[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of stored results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Stats returns the cumulative hit and miss counts of Get.
+func (s *Store) Stats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Tiers returns the store's single-tier statistics.
+func (s *Store) Tiers() []TierStats {
+	s.mu.Lock()
+	entries, bytes, evictions := len(s.m), s.bytes, s.evictions
+	s.mu.Unlock()
+	return []TierStats{{
+		Tier:      "memory",
+		Entries:   entries,
+		Bytes:     bytes,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: evictions,
+	}}
+}
+
+// MaxBytes returns the configured byte bound (0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes }
+
+// evict unlinks e and drops it from the map; s.mu must be held.
+func (s *Store) evict(e *memEntry) {
+	s.unlink(e)
+	delete(s.m, e.key)
+	s.bytes -= e.cost
+	s.evictions++
+}
+
+// pushFront links e as the hottest entry; s.mu must be held.
+func (s *Store) pushFront(e *memEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlink removes e from the recency list; s.mu must be held.
+func (s *Store) unlink(e *memEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront refreshes e's recency; s.mu must be held.
+func (s *Store) moveToFront(e *memEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// key64 builds a distinct ValidKey-shaped key from i (tier tests share
+// it with the disk suite via disk_test.go helpers).
+func key64(i int) string { return fmt.Sprintf("%064x", i) }
+
+func TestBoundedEvictsLRU(t *testing.T) {
+	// Each entry costs 64 (key) + 36 (value) = 100 bytes; a 250-byte
+	// bound holds two entries.
+	val := func(i int) []byte { return []byte(fmt.Sprintf("%036d", i)) }
+	s := NewBounded(250)
+	s.Put(key64(1), val(1))
+	s.Put(key64(2), val(2))
+	if got := s.Tiers()[0]; got.Bytes != 200 || got.Entries != 2 || got.Evictions != 0 {
+		t.Fatalf("after 2 inserts: %+v", got)
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := s.Get(key64(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	s.Put(key64(3), val(3))
+	if _, ok := s.Get(key64(2)); ok {
+		t.Fatal("LRU entry 2 survived an over-bound insert")
+	}
+	if _, ok := s.Get(key64(1)); !ok {
+		t.Fatal("recently used entry 1 was evicted")
+	}
+	if _, ok := s.Get(key64(3)); !ok {
+		t.Fatal("fresh entry 3 missing")
+	}
+	st := s.Tiers()[0]
+	if st.Entries != 2 || st.Bytes != 200 || st.Evictions != 1 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+}
+
+func TestBoundedRefusesOversizedValue(t *testing.T) {
+	s := NewBounded(100)
+	s.Put(key64(1), make([]byte, 200))
+	if s.Len() != 0 {
+		t.Fatal("an entry larger than the bound was admitted")
+	}
+	if st := s.Tiers()[0]; st.Evictions != 1 || st.Bytes != 0 {
+		t.Fatalf("oversized refusal stats: %+v", st)
+	}
+	// The store still works for entries that fit.
+	s.Put(key64(2), []byte("ok"))
+	if v, ok := s.Get(key64(2)); !ok || string(v) != "ok" {
+		t.Fatalf("fitting entry after refusal: %q, %v", v, ok)
+	}
+}
+
+func TestGetReturnsPrivateCopy(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("pristine"))
+	v1, _ := s.Get("k")
+	v1[0] = 'X' // a scribbling caller must not corrupt the store
+	if v2, _ := s.Get("k"); string(v2) != "pristine" {
+		t.Fatalf("stored value corrupted through a returned slice: %q", v2)
+	}
+}
+
+func TestHasCountsNothing(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("v"))
+	if !s.Has("k") || s.Has("missing") {
+		t.Fatal("Has misreported presence")
+	}
+	if hits, misses := s.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("Has moved the hit/miss counters: (%d, %d)", hits, misses)
+	}
+}
+
+// TestBoundedConcurrentEviction hammers a small bounded store from
+// many goroutines while a sampler asserts the byte bound holds at
+// every observed moment — the invariant the serving layer advertises
+// — with `go test -race` patrolling the LRU list manipulation.
+func TestBoundedConcurrentEviction(t *testing.T) {
+	const bound = 1 << 10
+	s := NewBounded(bound)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := key64((w*500 + i) % 64)
+				s.Put(key, []byte(fmt.Sprintf("value-%d-%d", w, i%7)))
+				if v, ok := s.Get(key); ok && len(v) == 0 {
+					t.Error("hit returned empty value")
+				}
+				s.Has(key)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			if st := s.Tiers()[0]; st.Bytes > bound {
+				t.Errorf("resident bytes %d exceed bound %d", st.Bytes, bound)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	<-done
+	st := s.Tiers()[0]
+	if st.Bytes > bound {
+		t.Fatalf("final resident bytes %d exceed bound %d", st.Bytes, bound)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a workload far larger than the bound")
+	}
+	// The accounted bytes must agree with the resident entries.
+	var want int64
+	for key, e := range s.m {
+		want += int64(len(key) + len(e.val))
+	}
+	if st.Bytes != want {
+		t.Fatalf("accounted bytes %d != resident bytes %d", st.Bytes, want)
+	}
+}

@@ -1,0 +1,92 @@
+package cache
+
+import "sync/atomic"
+
+// Tiered stacks the memory tier in front of an optional disk tier:
+// Get consults memory first and falls back to disk, promoting a disk
+// hit back into memory so the next reader pays no I/O; Put writes
+// through to both. It is safe for concurrent use.
+//
+// Store-wide Stats count one hit or miss per Get, whichever tier
+// answered; each tier's own counters (Tiers) additionally record how
+// the lookup travelled, so a memory miss answered by disk shows up as
+// one store hit, one memory-tier miss and one disk-tier hit.
+type Tiered struct {
+	mem  *Store
+	disk *Disk
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewTiered combines a memory tier and a disk tier (nil disk selects
+// memory-only, nil mem selects an unbounded memory tier).
+func NewTiered(mem *Store, disk *Disk) *Tiered {
+	if mem == nil {
+		mem = NewStore()
+	}
+	return &Tiered{mem: mem, disk: disk}
+}
+
+// Get returns the result stored under key, consulting memory then
+// disk. A disk hit is promoted into the memory tier.
+func (t *Tiered) Get(key string) ([]byte, bool) {
+	if val, ok := t.mem.Get(key); ok {
+		t.hits.Add(1)
+		return val, true
+	}
+	if t.disk != nil {
+		if val, ok := t.disk.Get(key); ok {
+			t.mem.Put(key, val)
+			t.hits.Add(1)
+			return val, true
+		}
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// Put writes val through to every tier.
+func (t *Tiered) Put(key string, val []byte) {
+	t.mem.Put(key, val)
+	if t.disk != nil {
+		t.disk.Put(key, val)
+	}
+}
+
+// Has reports whether any tier holds key, without counting a hit or
+// miss.
+func (t *Tiered) Has(key string) bool {
+	if t.mem.Has(key) {
+		return true
+	}
+	return t.disk != nil && t.disk.Has(key)
+}
+
+// Len returns the number of distinct stored results. The disk tier
+// holds everything ever Put (memory evicts, disk does not), so its
+// count is the store's — modulo entries memory still holds after a
+// swallowed disk write failure, which the max covers.
+func (t *Tiered) Len() int {
+	n := t.mem.Len()
+	if t.disk != nil {
+		if dn := t.disk.Len(); dn > n {
+			n = dn
+		}
+	}
+	return n
+}
+
+// Stats returns the store-wide cumulative hit and miss counts of Get.
+func (t *Tiered) Stats() (hits, misses uint64) {
+	return t.hits.Load(), t.misses.Load()
+}
+
+// Tiers returns per-tier statistics, memory first.
+func (t *Tiered) Tiers() []TierStats {
+	out := t.mem.Tiers()
+	if t.disk != nil {
+		out = append(out, t.disk.Tiers()...)
+	}
+	return out
+}

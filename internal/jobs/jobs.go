@@ -136,7 +136,7 @@ func (j *Job) Status() Status {
 
 // Engine owns the queue, the executor pool, and the job index.
 type Engine struct {
-	store *cache.Store
+	store cache.ResultStore
 
 	baseCtx   context.Context
 	stop      context.CancelFunc
@@ -158,9 +158,10 @@ type Engine struct {
 // (<= 0 selects 1; each job additionally fans its trials across the
 // worker pool its Task configures) and a submission queue of the given
 // depth (<= 0 selects 64). The store receives every successful result
-// and is consulted on Submit, so a warm store short-circuits
-// resubmissions even across engine restarts.
-func NewEngine(store *cache.Store, executors, depth int) *Engine {
+// and is consulted on Submit, so a warm store — a disk tier recovered
+// after a restart above all — short-circuits resubmissions even across
+// engine restarts.
+func NewEngine(store cache.ResultStore, executors, depth int) *Engine {
 	if executors <= 0 {
 		executors = 1
 	}
@@ -203,7 +204,14 @@ func (e *Engine) Submit(key string, total int64, task Task) (job *Job, fresh boo
 		return j, false, nil
 	}
 	if j, ok := e.doneByKey[key]; ok {
-		return j, false, nil
+		if e.store.Has(key) {
+			return j, false, nil
+		}
+		// The job finished, but a bounded store has since evicted its
+		// bytes: the record is a dangling promise (its /v1/results
+		// fetch would 404), so drop it and recompute. Determinism makes
+		// the recomputation byte-identical to what was evicted.
+		delete(e.doneByKey, key)
 	}
 	if _, ok := e.store.Get(key); ok {
 		// Result present but no job remembers computing it (e.g. a store

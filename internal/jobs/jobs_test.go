@@ -413,3 +413,55 @@ func TestDeadJobHistoryBounded(t *testing.T) {
 		t.Fatalf("byID holds %d jobs, want <= %d", n, maxTerminalHistory)
 	}
 }
+
+// TestEvictedResultRecomputes pins the bounded-store interaction: once
+// a done job's bytes are evicted from the result store, resubmitting
+// the same key must enqueue fresh work instead of coalescing onto the
+// dangling done job (whose /v1/results fetch would 404).
+func TestEvictedResultRecomputes(t *testing.T) {
+	// Bound sized to hold exactly one of the two results at a time:
+	// each entry costs len(key)+len(value) = 5+8 = 13 bytes.
+	store := cache.NewBounded(16)
+	e := NewEngine(store, 1, 8)
+	defer e.Close()
+
+	var runs atomic.Int64
+	task := func(ctx context.Context, progress func(int)) ([]byte, error) {
+		runs.Add(1)
+		return []byte("result-a"), nil
+	}
+	j, fresh, err := e.Submit("key-a", 1, task)
+	if err != nil || !fresh {
+		t.Fatalf("first Submit = (fresh=%v, err=%v)", fresh, err)
+	}
+	waitJob(t, j)
+
+	// While the bytes are resident, a resubmission coalesces.
+	if _, fresh, err := e.Submit("key-a", 1, task); err != nil || fresh {
+		t.Fatalf("warm resubmit = (fresh=%v, err=%v), want coalesced", fresh, err)
+	}
+
+	// Evict key-a by inserting a second result past the bound.
+	jb, _, err := e.Submit("key-b", 1, func(ctx context.Context, progress func(int)) ([]byte, error) {
+		return []byte("result-b"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, jb)
+	if store.Has("key-a") {
+		t.Fatal("test setup: key-a still resident after over-bound insert")
+	}
+
+	j2, fresh, err := e.Submit("key-a", 1, task)
+	if err != nil || !fresh {
+		t.Fatalf("post-eviction resubmit = (fresh=%v, err=%v), want fresh", fresh, err)
+	}
+	waitJob(t, j2)
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("task ran %d times, want 2 (original + post-eviction recompute)", got)
+	}
+	if data, ok := store.Get("key-a"); !ok || string(data) != "result-a" {
+		t.Fatalf("recomputed bytes: %q, %v", data, ok)
+	}
+}

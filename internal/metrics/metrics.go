@@ -401,3 +401,54 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	}})
 	return hv
 }
+
+// FuncVec is a labeled family whose children are sampled from
+// closures at render time — the vector analogue of GaugeFunc and
+// CounterFunc, for live per-tier or per-component state another layer
+// already maintains (the result cache's tier statistics).
+type FuncVec struct{ v *vec[*funcChild] }
+
+type funcChild struct{ fn func() float64 }
+
+// With registers fn as the child sampled for the given label values.
+// Registration is static wiring: a duplicate tuple panics, exactly
+// like a duplicate family name.
+func (fv *FuncVec) With(fn func() float64, values ...string) {
+	if len(values) != len(fv.v.labels) {
+		panic(fmt.Sprintf("metrics: %q got %d label values, want %d", fv.v.name, len(values), len(fv.v.labels)))
+	}
+	key := labelString(fv.v.labels, values)
+	fv.v.mu.Lock()
+	defer fv.v.mu.Unlock()
+	if _, dup := fv.v.children[key]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s%s", fv.v.name, key))
+	}
+	fv.v.children[key] = &funcChild{fn: fn}
+	i := sort.SearchStrings(fv.v.keys, key)
+	fv.v.keys = append(fv.v.keys, "")
+	copy(fv.v.keys[i+1:], fv.v.keys[i:])
+	fv.v.keys[i] = key
+}
+
+// funcVec registers a sampled labeled family under the given type.
+func (r *Registry) funcVec(name, help, typ string, labels ...string) *FuncVec {
+	fv := &FuncVec{v: newVec(name, labels, func([]string) *funcChild { return &funcChild{} })}
+	r.register(&entry{name: name, help: help, typ: typ, write: func(b *bytes.Buffer) {
+		keys, children := fv.v.snapshot()
+		for i, key := range keys {
+			fmt.Fprintf(b, "%s%s %s\n", name, key, formatFloat(children[i].fn()))
+		}
+	}})
+	return fv
+}
+
+// GaugeFuncVec registers a labeled gauge family sampled at render time.
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *FuncVec {
+	return r.funcVec(name, help, "gauge", labels...)
+}
+
+// CounterFuncVec registers a labeled counter family sampled at render
+// time — for cumulative counts another layer already maintains.
+func (r *Registry) CounterFuncVec(name, help string, labels ...string) *FuncVec {
+	return r.funcVec(name, help, "counter", labels...)
+}

@@ -205,3 +205,37 @@ func TestProcessRegistryIsShared(t *testing.T) {
 		t.Fatal("Process() returned distinct registries")
 	}
 }
+
+func TestFuncVecSampledChildren(t *testing.T) {
+	r := NewRegistry()
+	var memBytes, diskBytes float64 = 128, 4096
+	bytesVec := r.GaugeFuncVec("demo_tier_bytes", "Resident bytes per tier.", "tier")
+	bytesVec.With(func() float64 { return memBytes }, "memory")
+	bytesVec.With(func() float64 { return diskBytes }, "disk")
+	hitsVec := r.CounterFuncVec("demo_tier_hits_total", "Hits per tier.", "tier")
+	hitsVec.With(func() float64 { return 7 }, "memory")
+
+	const want = `# HELP demo_tier_bytes Resident bytes per tier.
+# TYPE demo_tier_bytes gauge
+demo_tier_bytes{tier="disk"} 4096
+demo_tier_bytes{tier="memory"} 128
+# HELP demo_tier_hits_total Hits per tier.
+# TYPE demo_tier_hits_total counter
+demo_tier_hits_total{tier="memory"} 7
+`
+	if got := render(t, r); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Samples are live, not captured: the next render sees new values.
+	memBytes = 64
+	if got := render(t, r); !strings.Contains(got, `demo_tier_bytes{tier="memory"} 64`) {
+		t.Errorf("sampled value not live:\n%s", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate FuncVec child did not panic")
+		}
+	}()
+	hitsVec.With(func() float64 { return 0 }, "memory")
+}

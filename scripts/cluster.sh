@@ -15,6 +15,10 @@
 #   2. faultroute -trials 60 (estimate)     == same + -backends
 #   3. every backend's /v1/metrics reports the core series with
 #      non-zero work counts after the runs above
+#   4. a faultbench multi-cell sweep against the fleet completes
+#      without op errors and emits a schema-valid report
+#   5. a daemon restarted on the same -cache-dir serves the previous
+#      run's results from its disk tier — cache hits, no recomputation
 #
 # Daemons are torn down on exit, pass or fail.
 set -eu
@@ -140,5 +144,66 @@ if ! grep -q '"name": "Faultbench/' "$workdir/faultbench.json"; then
     exit 1
 fi
 echo "cluster: faultbench sweep emitted $(grep -c '"name":' "$workdir/faultbench.json") rows"
+
+echo "cluster: smoke 5 — warm restart from a persistent -cache-dir"
+# Boot one more daemon with a disk result tier, compute through it, kill
+# it, restart it on the same directory, and re-run the same workload:
+# every submission must answer from the recovered cache (outcome
+# "cached", disk-tier hits) without recomputing a single trial.
+warm_port=$((BASE_PORT + M))
+warm_url="http://127.0.0.1:$warm_port"
+cache_dir="$workdir/cache"
+"$workdir/faultrouted" -addr "127.0.0.1:$warm_port" -executors 2 -cache-dir "$cache_dir" \
+    >"$workdir/daemon-warm-1.log" 2>&1 &
+warm_pid=$!
+tries=0
+until fetch "$warm_url/v1/healthz" | grep -q '"ok":true'; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 100 ]; then
+        echo "cluster: $warm_url never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$workdir/faultroute" -graph hypercube -n 8 -p 0.6 -trials 60 -seed 5 -backends "$warm_url" >"$workdir/warm1.txt"
+kill "$warm_pid"
+wait "$warm_pid" 2>/dev/null || true
+
+"$workdir/faultrouted" -addr "127.0.0.1:$warm_port" -executors 2 -cache-dir "$cache_dir" \
+    >"$workdir/daemon-warm-2.log" 2>&1 &
+warm_pid=$!
+pids="$pids $warm_pid"
+tries=0
+until fetch "$warm_url/v1/healthz" | grep -q '"ok":true'; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 100 ]; then
+        echo "cluster: $warm_url never became healthy after restart" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! grep -q 'recovered [1-9][0-9]* result' "$workdir/daemon-warm-2.log"; then
+    echo "cluster: FAIL — restarted daemon recovered no results from $cache_dir" >&2
+    exit 1
+fi
+"$workdir/faultroute" -graph hypercube -n 8 -p 0.6 -trials 60 -seed 5 -backends "$warm_url" >"$workdir/warm2.txt"
+if ! cmp -s "$workdir/warm1.txt" "$workdir/warm2.txt"; then
+    echo "cluster: FAIL — post-restart output differs from the original run" >&2
+    exit 1
+fi
+fetch "$warm_url/v1/metrics" >"$workdir/warm-metrics.txt"
+if ! grep 'faultroute_jobs_submitted_total{outcome="cached"}' "$workdir/warm-metrics.txt" | grep -qv ' 0$'; then
+    echo "cluster: FAIL — restarted daemon served no cached submissions" >&2
+    exit 1
+fi
+if grep 'faultroute_jobs_submitted_total{outcome="fresh"}' "$workdir/warm-metrics.txt" | grep -qv ' 0$'; then
+    echo "cluster: FAIL — restarted daemon recomputed work it should have had on disk" >&2
+    exit 1
+fi
+if ! grep 'faultroute_cache_tier_hits_total{tier="disk"}' "$workdir/warm-metrics.txt" | grep -qv ' 0$'; then
+    echo "cluster: FAIL — restarted daemon reports no disk-tier hits" >&2
+    exit 1
+fi
+echo "cluster: warm restart served every result from the disk tier"
 
 echo "cluster: OK — $M-backend dispatch is byte-identical to in-process runs"

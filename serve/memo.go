@@ -42,9 +42,12 @@ type memoEntry struct {
 	kind  string
 	task  api.Task
 	// resp is the frozen cache-hit fast path, set once the job is done:
-	// a done job is immortal (doneByKey never evicts) and its status
-	// immutable, so every later duplicate of this body gets exactly
-	// these bytes — without touching the decoder or the engine's lock.
+	// a done job's status is immutable, so every later duplicate of
+	// this body gets exactly these bytes — without touching the
+	// decoder or the engine's lock. The handler guards the fast path
+	// with a store presence probe: under a bounded store the result
+	// bytes can be evicted after the freeze, and the duplicate must
+	// then recompute instead of being pointed at a 404.
 	resp atomic.Pointer[memoResp]
 }
 

@@ -144,6 +144,15 @@ func TestMetricsScrapeAfterScriptedMix(t *testing.T) {
 	wantLine(t, text, `faultroute_cache_hits_total 2`)
 	wantLine(t, text, `faultroute_cache_misses_total 3`)
 	wantLine(t, text, `faultroute_cache_results 2`)
+	// The default store is memory-only, so its single tier's counters
+	// mirror the store-level ones exactly. Bytes is a real value too
+	// (canonical result bytes are deterministic) but pinning it would
+	// couple this test to result encoding size; presence is enough.
+	wantLine(t, text, `faultroute_cache_tier_entries{tier="memory"} 2`)
+	wantLine(t, text, `faultroute_cache_tier_hits_total{tier="memory"} 2`)
+	wantLine(t, text, `faultroute_cache_tier_misses_total{tier="memory"} 3`)
+	wantLine(t, text, `faultroute_cache_tier_evictions_total{tier="memory"} 0`)
+	wantSeries(t, text, `faultroute_cache_tier_bytes{tier="memory"}`)
 	wantLine(t, text, `faultroute_jobs_submitted_total{outcome="fresh"} 3`)
 	wantLine(t, text, `faultroute_jobs_submitted_total{outcome="cached"} 1`)
 	wantLine(t, text, `faultroute_jobs_submitted_total{outcome="coalesced"} 1`)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"faultroute/api"
+	"faultroute/internal/cache"
 	"faultroute/internal/metrics"
 )
 
@@ -84,7 +85,41 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	reg.GaugeFunc("faultroute_cache_results",
 		"Results currently stored in the content-addressed cache.",
 		func() float64 { return float64(s.store.Len()) })
+	// Per-tier series. The tier set is fixed at store construction, so
+	// registering one sampled child per tier is static wiring; each
+	// sample re-reads the live tier statistics at scrape time.
+	tierEntries := reg.GaugeFuncVec("faultroute_cache_tier_entries",
+		"Results resident per store tier.", "tier")
+	tierBytes := reg.GaugeFuncVec("faultroute_cache_tier_bytes",
+		"Resident payload bytes per store tier; the memory tier's LRU keeps this at or below -cache-max-bytes.", "tier")
+	tierHits := reg.CounterFuncVec("faultroute_cache_tier_hits_total",
+		"Lookups answered by each tier (a disk hit after a memory miss counts in both tiers' series).", "tier")
+	tierMisses := reg.CounterFuncVec("faultroute_cache_tier_misses_total",
+		"Lookups each tier could not answer.", "tier")
+	tierEvictions := reg.CounterFuncVec("faultroute_cache_tier_evictions_total",
+		"Entries removed per tier: LRU eviction (memory), quarantined corrupt files (disk).", "tier")
+	for _, t := range s.store.Tiers() {
+		tier := t.Tier
+		tierEntries.With(tierStat(s.store, tier, func(t cache.TierStats) float64 { return float64(t.Entries) }), tier)
+		tierBytes.With(tierStat(s.store, tier, func(t cache.TierStats) float64 { return float64(t.Bytes) }), tier)
+		tierHits.With(tierStat(s.store, tier, func(t cache.TierStats) float64 { return float64(t.Hits) }), tier)
+		tierMisses.With(tierStat(s.store, tier, func(t cache.TierStats) float64 { return float64(t.Misses) }), tier)
+		tierEvictions.With(tierStat(s.store, tier, func(t cache.TierStats) float64 { return float64(t.Evictions) }), tier)
+	}
 	return m
+}
+
+// tierStat returns a sampler reading one field of one tier's live
+// statistics.
+func tierStat(store cache.ResultStore, tier string, field func(cache.TierStats) float64) func() float64 {
+	return func() float64 {
+		for _, t := range store.Tiers() {
+			if t.Tier == tier {
+				return field(t)
+			}
+		}
+		return 0
+	}
 }
 
 // observeJob records one executed job's latency and terminal state,

@@ -45,9 +45,14 @@ type Options struct {
 	// QueueDepth bounds the submission queue; submissions beyond it get
 	// 503 (<= 0 selects 64).
 	QueueDepth int
-	// Store, when non-nil, seeds the service with an existing result
-	// cache (a warm store short-circuits resubmissions across restarts).
-	Store *cache.Store
+	// Store, when non-nil, selects the service's result store — any
+	// tier stack from internal/cache: a bounded cache.NewBounded
+	// memory tier, a cache.NewTiered memory+disk stack whose disk tier
+	// survives restarts, or a pre-warmed store shared with other
+	// services. nil selects an unbounded in-memory store. A warm store
+	// short-circuits resubmissions across restarts: the engine serves
+	// the recovered bytes as cache hits without recomputing.
+	Store cache.ResultStore
 	// Logger, when non-nil, receives one structured line per API
 	// request: method, path, route pattern, status, duration, response
 	// size, and the job id/key when the handler resolved one. nil
@@ -69,7 +74,7 @@ const retryAfterSeconds = 1
 // Service owns one engine + store pair and serves the HTTP API.
 type Service struct {
 	engine        *jobs.Engine
-	store         *cache.Store
+	store         cache.ResultStore
 	workers       int
 	logger        *slog.Logger
 	eventInterval time.Duration
@@ -108,8 +113,8 @@ func New(opts Options) *Service {
 // the executors to drain.
 func (s *Service) Close() { s.engine.Close() }
 
-// Store returns the service's result cache (shared, live).
-func (s *Service) Store() *cache.Store { return s.store }
+// Store returns the service's result store (shared, live).
+func (s *Service) Store() cache.ResultStore { return s.store }
 
 // Handler returns the API surface:
 //
@@ -195,7 +200,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		ent = &memoEntry{key: plan.Key, total: plan.Total, kind: plan.Request.Kind, task: plan.Task}
 		s.memo.put(body, ent)
-	} else if frozen := ent.resp.Load(); frozen != nil {
+	} else if frozen := ent.resp.Load(); frozen != nil && s.store.Has(ent.key) {
+		// The presence probe keeps the frozen fast path honest under a
+		// bounded store: once the result's bytes are evicted, the
+		// submission must fall through and recompute rather than point
+		// the client at a /v1/results fetch that would 404.
 		s.metrics.submitted.With("cached").Inc()
 		annotate(r, frozen.jobID, ent.key)
 		w.Header().Set("Content-Type", "application/json")
@@ -309,13 +318,27 @@ func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.ExperimentList{Experiments: exp.Infos()})
 }
 
-// handleHealth reports liveness plus cache occupancy.
+// handleHealth reports liveness plus cache occupancy, with per-tier
+// entry/byte/eviction statistics for tiered stores.
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.store.Stats()
+	tiers := s.store.Tiers()
+	th := make([]api.TierHealth, len(tiers))
+	for i, t := range tiers {
+		th[i] = api.TierHealth{
+			Tier:      t.Tier,
+			Entries:   t.Entries,
+			Bytes:     t.Bytes,
+			Hits:      t.Hits,
+			Misses:    t.Misses,
+			Evictions: t.Evictions,
+		}
+	}
 	writeJSON(w, http.StatusOK, api.Health{
 		OK:      true,
 		Results: s.store.Len(),
 		Hits:    hits,
 		Misses:  misses,
+		Tiers:   th,
 	})
 }

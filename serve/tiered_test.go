@@ -1,0 +1,134 @@
+package serve_test
+
+// Tests of the service over a tiered result store: a daemon restart
+// with the same disk directory must serve every prior result as a
+// cache hit — no recomputation — and /v1/healthz must break the store
+// down per tier.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faultroute/api"
+	"faultroute/internal/cache"
+	"faultroute/serve"
+)
+
+// newTieredService builds a Service whose store persists to dir, the
+// same stack cmd/faultrouted assembles for -cache-dir.
+func newTieredService(t *testing.T, dir string, maxBytes int64) *serve.Service {
+	t.Helper()
+	disk, err := cache.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.New(serve.Options{
+		Workers:    1,
+		Executors:  1,
+		QueueDepth: 16,
+		Store:      cache.NewTiered(cache.NewBounded(maxBytes), disk),
+	})
+}
+
+// TestRestartServesFromDiskTier is the warm-restart contract: compute a
+// result under one service, tear the service down, bring up a fresh one
+// over the same directory, and the same submission must answer Cached
+// with byte-identical result bytes — the work happened exactly once.
+func TestRestartServesFromDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"kind":"estimate","estimate":{
+		"graph":{"family":"hypercube","n":6},
+		"p":0.7,"trials":4,"seed":21}}`
+
+	svc1 := newTieredService(t, dir, 0)
+	ts1 := httptest.NewServer(svc1.Handler())
+	var sub api.SubmitResponse
+	if code := doJSON(t, http.MethodPost, ts1.URL+"/v1/jobs", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", code)
+	}
+	if st := awaitJob(t, ts1.URL, sub.Job.ID); st.State != api.JobDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	first := fetchResult(t, ts1.URL, sub.Job.Key)
+	ts1.Close()
+	svc1.Close()
+
+	// A fresh service over the same directory: cold memory, warm disk.
+	svc2 := newTieredService(t, dir, 0)
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+
+	var again api.SubmitResponse
+	code := doJSON(t, http.MethodPost, ts2.URL+"/v1/jobs", body, &again)
+	if code != http.StatusOK || !again.Cached {
+		t.Fatalf("post-restart submit: status %d cached=%v, want 200 cached", code, again.Cached)
+	}
+	if again.Job.Key != sub.Job.Key {
+		t.Fatalf("post-restart key %s, want %s", again.Job.Key, sub.Job.Key)
+	}
+	second := fetchResult(t, ts2.URL, again.Job.Key)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("post-restart result bytes differ:\n pre: %s\npost: %s", first, second)
+	}
+
+	// The restart hit must show up as disk-tier traffic in healthz.
+	var h api.Health
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/v1/healthz", "", &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	tiers := make(map[string]api.TierHealth, len(h.Tiers))
+	for _, th := range h.Tiers {
+		tiers[th.Tier] = th
+	}
+	if len(h.Tiers) != 2 || h.Tiers[0].Tier != "memory" || h.Tiers[1].Tier != "disk" {
+		t.Fatalf("healthz tiers = %+v, want [memory disk]", h.Tiers)
+	}
+	if d := tiers["disk"]; d.Hits == 0 || d.Entries == 0 || d.Bytes == 0 {
+		t.Fatalf("disk tier %+v: want nonzero hits, entries and bytes after a warm restart", d)
+	}
+	// The submit's store lookup missed memory before hitting disk; the
+	// disk hit was then promoted, so the memory tier holds the entry.
+	if m := tiers["memory"]; m.Misses == 0 || m.Entries == 0 {
+		t.Fatalf("memory tier %+v: want nonzero misses and promoted entries", m)
+	}
+}
+
+// TestHealthzTierShapes pins the healthz JSON shape per store kind: no
+// Store option yields a single memory tier, and the tiers field decodes
+// with the documented names.
+func TestHealthzTierShapes(t *testing.T) {
+	svc := serve.New(serve.Options{Workers: 1, Executors: 1, QueueDepth: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		OK    bool `json:"ok"`
+		Tiers []struct {
+			Tier      string `json:"tier"`
+			Entries   int    `json:"entries"`
+			Bytes     int64  `json:"bytes"`
+			Hits      uint64 `json:"hits"`
+			Misses    uint64 `json:"misses"`
+			Evictions uint64 `json:"evictions"`
+		} `json:"tiers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Fatal("healthz not ok")
+	}
+	if len(h.Tiers) != 1 || h.Tiers[0].Tier != "memory" {
+		t.Fatalf("tiers = %+v, want exactly the memory tier", h.Tiers)
+	}
+}
