@@ -37,8 +37,11 @@ import (
 
 	"faultroute/api"
 	"faultroute/client"
+	"faultroute/dispatch"
 	"faultroute/internal/rng"
 	"faultroute/serve"
+
+	"faultroute"
 )
 
 // Cell is one sweep point: a full parameterization of the workload and
@@ -84,6 +87,21 @@ type Cell struct {
 	// Ops is the number of operations the cell issues (0 = the run
 	// Options default).
 	Ops int
+	// Pool routes every op through a dispatch.Pool over the cell's
+	// backends instead of the per-client submit path: the pool plans the
+	// shard layout (Shard pins it; 0 = adaptive), selects backends by
+	// observed capacity, and — with Hedge — speculates on stragglers.
+	// Every pool result is verified byte-for-byte against an in-process
+	// faultroute.Local reference computed before the clock starts, so a
+	// pool cell is simultaneously a correctness check of the dispatch
+	// determinism contract.
+	Pool bool
+	// Hedge enables straggler speculation in the cell's pool (Pool cells
+	// only): sub-jobs that outlive HedgeAfter race a duplicate on an
+	// idle backend.
+	Hedge bool
+	// HedgeAfter is the pool's hedge floor (0 = the pool default).
+	HedgeAfter time.Duration
 }
 
 // Name renders the cell's sweep coordinates as a benchmark-style row
@@ -105,6 +123,12 @@ func (c Cell) Name() string {
 	if c.Shard > 0 {
 		fmt.Fprintf(&sb, "-shard%d", c.Shard)
 	}
+	if c.Pool {
+		sb.WriteString("-pool")
+	}
+	if c.Hedge {
+		sb.WriteString("-hedge")
+	}
 	fmt.Fprintf(&sb, "/b%d-w%d/cat%d-zipf%g", c.Backends, c.Workers, c.Catalog, c.Zipf)
 	return sb.String()
 }
@@ -113,18 +137,18 @@ func (c Cell) Name() string {
 // of its axes. An empty axis selects one default value, so the zero
 // grid is a single sane cell rather than an empty sweep.
 type Grid struct {
-	Clients  []int         // default 16
-	Rates    []float64     // default 0 (closed loop)
-	Workers  []int         // default 1
-	Trials   []int         // default 32
-	Shards   []int         // default 0 (unsharded)
+	Clients  []int           // default 16
+	Rates    []float64       // default 0 (closed loop)
+	Workers  []int           // default 1
+	Trials   []int           // default 32
+	Shards   []int           // default 0 (unsharded)
 	Graphs   []api.GraphSpec // default hypercube n=10
-	Catalogs []int         // default 16
-	Zipfs    []float64     // default 1.1
-	Backends []int         // default 0 (all targets)
-	Think    time.Duration // closed-loop think time for every cell
-	P        float64       // retention probability, default 0.7
-	Ops      int           // per-cell op count, 0 = run Options default
+	Catalogs []int           // default 16
+	Zipfs    []float64       // default 1.1
+	Backends []int           // default 0 (all targets)
+	Think    time.Duration   // closed-loop think time for every cell
+	P        float64         // retention probability, default 0.7
+	Ops      int             // per-cell op count, 0 = run Options default
 }
 
 func defInts(v []int, d int) []int {
@@ -221,6 +245,43 @@ func SelfHost(opts serve.Options) (*Target, error) {
 	}, nil
 }
 
+// SelfHostFleet boots n independent in-process services, each behind
+// its own loopback listener — a heterogeneous cell when delays is
+// non-nil: delays[i] becomes service i's serve.Options.TaskDelay, so a
+// single slow daemon (the straggler the dispatch hedger exists for)
+// is one positive entry away. Close tears the whole fleet down.
+func SelfHostFleet(n int, opts serve.Options, delays []time.Duration) (*Target, error) {
+	if n <= 0 {
+		n = 1
+	}
+	urls := make([]string, 0, n)
+	closers := make([]func() error, 0, n)
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Store = nil // every daemon owns its store; a shared one would hide dispatch
+		if i < len(delays) {
+			o.TaskDelay = delays[i]
+		}
+		t, err := SelfHost(o)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		urls = append(urls, t.URLs...)
+		closers = append(closers, t.Close)
+	}
+	return &Target{URLs: urls, hc: newLoadHTTPClient(), closer: closeAll}, nil
+}
+
 // Close tears down whatever SelfHost booted; it is a no-op for Connect
 // targets.
 func (t *Target) Close() error {
@@ -257,6 +318,13 @@ type Options struct {
 	// duplicate-heavy load, the coalescing and cache layers must carry
 	// the traffic.
 	MinAbsorbed float64
+	// HedgeSpeedup, when > 0, asserts the hedging win across the sweep:
+	// the summed wall time of the hedge-enabled pool cells must stay
+	// under this fraction of the hedge-disabled pool cells' (0.6 means
+	// "hedging cuts the straggler-bound wall time by at least 40%"), and
+	// at least one hedge must actually have fired. The hedge-straggler
+	// preset sets it.
+	HedgeSpeedup float64
 	// Logf, when non-nil, receives one progress line per cell.
 	Logf func(format string, args ...any)
 }
@@ -274,6 +342,7 @@ func Run(ctx context.Context, target *Target, cells []Cell, opts Options) (*Repo
 		opts.Seed = 1
 	}
 	rep := NewReport()
+	var hedgedWall, unhedgedWall, hedgesFired float64
 	for i, cell := range cells {
 		row, err := runCell(ctx, target, cell, opts, i)
 		if err != nil {
@@ -288,6 +357,24 @@ func Run(ctx context.Context, target *Target, cells []Cell, opts Options) (*Repo
 		if opts.MinAbsorbed > 0 && row.Metrics["absorbed"] < opts.MinAbsorbed {
 			return rep, fmt.Errorf("bench: cell %s absorbed only %.3f of submissions (hit+coalesce), want >= %.3f — the cache/coalesce path is not carrying the load",
 				row.Name, row.Metrics["absorbed"], opts.MinAbsorbed)
+		}
+		if cell.Pool {
+			if cell.Hedge {
+				hedgedWall += row.Metrics["elapsed-s"]
+				hedgesFired += row.Metrics["hedges"]
+			} else {
+				unhedgedWall += row.Metrics["elapsed-s"]
+			}
+		}
+	}
+	if opts.HedgeSpeedup > 0 && unhedgedWall > 0 {
+		ratio := hedgedWall / unhedgedWall
+		if ratio >= opts.HedgeSpeedup {
+			return rep, fmt.Errorf("bench: hedged cells took %.3fs vs %.3fs unhedged (ratio %.2f), want < %.2f — hedging is not absorbing the straggler",
+				hedgedWall, unhedgedWall, ratio, opts.HedgeSpeedup)
+		}
+		if hedgesFired == 0 {
+			return rep, errors.New("bench: hedge cells fired no hedges — the straggler was never speculated on")
 		}
 	}
 	return rep, nil
@@ -315,12 +402,53 @@ func runCell(ctx context.Context, target *Target, cell Cell, opts Options, cellI
 	if err != nil {
 		return Row{}, err
 	}
+
+	// Pool cells: build the dispatch pool and compute the in-process
+	// reference bytes for every catalog rank the schedule touches —
+	// before the clock starts, so verification is free of charge — then
+	// byte-compare every pool result against them during the run.
+	var (
+		pool *dispatch.Pool
+		refs map[int][]byte
+	)
+	if cell.Pool {
+		poolOpts := []dispatch.Option{
+			dispatch.WithClientOptions(
+				client.WithHTTPClient(target.hc),
+				client.WithPollInterval(20*time.Millisecond),
+				client.WithRetry(6, 50*time.Millisecond)),
+			dispatch.WithHedging(cell.Hedge),
+		}
+		if cell.Shard > 0 {
+			poolOpts = append(poolOpts, dispatch.WithShardTrials(cell.Shard))
+		}
+		if cell.HedgeAfter > 0 {
+			poolOpts = append(poolOpts, dispatch.WithHedgeAfter(cell.HedgeAfter))
+		}
+		pool, err = dispatch.New(urls, poolOpts...)
+		if err != nil {
+			return Row{}, err
+		}
+		local := faultroute.NewLocal()
+		refs = make(map[int][]byte)
+		for _, rank := range ranks {
+			if _, ok := refs[rank]; ok {
+				continue
+			}
+			res, err := local.Do(ctx, catalogSpec(cell, base, rank))
+			if err != nil {
+				return Row{}, fmt.Errorf("computing local reference for rank %d: %w", rank, err)
+			}
+			refs[rank] = res.Body
+		}
+	}
+
 	before, err := scrapeAll(ctx, target.hc, urls)
 	if err != nil {
 		return Row{}, err
 	}
 
-	cr := &cellRunner{cell: cell, clients: clients, base: base}
+	cr := &cellRunner{cell: cell, clients: clients, base: base, pool: pool, refs: refs}
 	var (
 		hists   = make([]*Histogram, cell.Clients)
 		opErrs  atomic.Int64
@@ -397,6 +525,14 @@ func runCell(ctx context.Context, target *Target, cell Cell, opts Options, cellI
 			"evictions":  delta.Sum("faultroute_cache_tier_evictions_total"),
 			"http-reqs":  delta.Sum("faultroute_http_requests_total"),
 		},
+	}
+	if pool != nil {
+		st := pool.Stats()
+		row.Metrics["subjobs"] = float64(st.SubJobs)
+		row.Metrics["hedges"] = float64(st.Hedges)
+		row.Metrics["hedge-wins"] = float64(st.HedgeWins)
+		row.Metrics["hedge-cancels"] = float64(st.HedgeCancels)
+		row.Metrics["peer-fills"] = float64(st.PeerFills)
 	}
 	return row, nil
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"faultroute/api"
 	"faultroute/internal/cache"
@@ -18,14 +19,47 @@ import (
 // deterministic.
 const smokeCacheBytes = 1800
 
-// Preset is a named, self-contained sweep: the grid, the run options,
-// and the self-host sizing to use when no external targets are given.
+// Preset is a named, self-contained sweep: the grid (or an explicit
+// cell list), the run options, and the self-host sizing to use when no
+// external targets are given.
 type Preset struct {
 	Name        string
 	Description string
 	Grid        Grid
-	Options     Options
-	Serve       serve.Options
+	// Cells, when non-empty, is the sweep's explicit cell list and
+	// replaces the Grid expansion — for presets whose cells differ in
+	// ways a cartesian grid cannot express (hedging on vs off).
+	Cells   []Cell
+	Options Options
+	Serve   serve.Options
+	// Fleet, when N > 0, makes the preset self-host N independent
+	// daemons instead of one; Delay is daemon 0's serve.Options.TaskDelay
+	// — the deliberately slow backend of a heterogeneous cell.
+	Fleet Fleet
+}
+
+// Fleet sizes a preset's self-hosted multi-daemon target.
+type Fleet struct {
+	N     int
+	Delay time.Duration
+}
+
+// FleetDelays expands the fleet's per-daemon task delays (daemon 0
+// slowed, the rest unthrottled) for SelfHostFleet.
+func (f Fleet) FleetDelays() []time.Duration {
+	if f.N <= 0 || f.Delay <= 0 {
+		return nil
+	}
+	return []time.Duration{f.Delay}
+}
+
+// SweepCells returns the preset's cell list: the explicit Cells when
+// set, the Grid expansion otherwise.
+func (p Preset) SweepCells() []Cell {
+	if len(p.Cells) > 0 {
+		return p.Cells
+	}
+	return p.Grid.Cells()
 }
 
 // Presets returns the named sweeps, most important first.
@@ -60,12 +94,28 @@ func Presets() []Preset {
 			},
 			Serve: serve.Options{Executors: 2, QueueDepth: 32, Store: cache.NewBounded(smokeCacheBytes)},
 		},
+		{
+			Name: "hedge-straggler",
+			Description: "heterogeneous 3-daemon fleet with one 5x-slowed backend, driven through a dispatch pool; " +
+				"asserts straggler hedging cuts wall time under 0.6x of the unhedged run, with byte-identical results",
+			Cells: []Cell{
+				{Clients: 1, Ops: 1, Trials: 96, Shard: 8, Catalog: 1,
+					Graph: api.GraphSpec{Family: "hypercube", N: 7},
+					Pool:  true, Hedge: false},
+				{Clients: 1, Ops: 1, Trials: 96, Shard: 8, Catalog: 1,
+					Graph: api.GraphSpec{Family: "hypercube", N: 7},
+					Pool:  true, Hedge: true, HedgeAfter: 50 * time.Millisecond},
+			},
+			Options: Options{HedgeSpeedup: 0.6},
+			Serve:   serve.Options{Executors: 2, QueueDepth: 64},
+			Fleet:   Fleet{N: 3, Delay: 250 * time.Millisecond},
+		},
 	}
 }
 
 // PresetByName looks a preset up by name.
 func PresetByName(name string) (Preset, error) {
-	names := make([]string, 0, 2)
+	names := make([]string, 0, 3)
 	for _, p := range Presets() {
 		if p.Name == name {
 			return p, nil

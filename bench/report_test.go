@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -73,5 +74,45 @@ func TestCommittedReportIsValid(t *testing.T) {
 	}
 	if preset != 1 {
 		t.Fatalf("committed report carries %d millions-of-users post-fix rows, want 1", preset)
+	}
+}
+
+// TestCommittedHedgeReportIsValid keeps BENCH_pr9.json honest: the
+// hedge-straggler rows must show the speculation story the preset
+// asserts — the hedged run beating the unhedged one by the preset's
+// 0.6x floor with at least one hedge actually fired. (Byte identity
+// against faultroute.Local is enforced inline by the harness while
+// the rows are measured.)
+func TestCommittedHedgeReportIsValid(t *testing.T) {
+	data, err := os.ReadFile("../BENCH_pr9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(data); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var unhedged, hedged *Row
+	for i := range rep.Benchmarks {
+		row := &rep.Benchmarks[i]
+		switch {
+		case strings.Contains(row.Name, "-pool-hedge/"):
+			hedged = row
+		case strings.Contains(row.Name, "-pool/"):
+			unhedged = row
+		}
+	}
+	if unhedged == nil || hedged == nil {
+		t.Fatalf("committed report is missing the pool/pool-hedge row pair (rows: %d)", len(rep.Benchmarks))
+	}
+	if hedged.Metrics["hedges"] < 1 {
+		t.Errorf("hedged row fired %v hedges, want >= 1", hedged.Metrics["hedges"])
+	}
+	ratio := hedged.Metrics["elapsed-s"] / unhedged.Metrics["elapsed-s"]
+	if !(ratio < 0.6) {
+		t.Errorf("hedged/unhedged wall time = %.2f, preset asserts < 0.6", ratio)
 	}
 }

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
 
 	"faultroute/api"
 	"faultroute/client"
+	"faultroute/dispatch"
 	"faultroute/internal/rng"
 )
 
@@ -51,18 +53,38 @@ func schedule(cell Cell, seed uint64, ops int) ([]int, error) {
 	return ranks, nil
 }
 
-// cellRunner executes one cell's ops against a set of backend clients.
+// cellRunner executes one cell's ops against a set of backend clients
+// (or, for Pool cells, through a dispatch.Pool with per-rank local
+// reference bytes to verify against).
 type cellRunner struct {
 	cell    Cell
 	clients []*client.Client
 	base    uint64
+	pool    *dispatch.Pool
+	refs    map[int][]byte
 }
 
 // do executes op i (catalog rank `rank`): submit, await, fetch the
 // result — or, when the cell shards, fan the estimate's trial range out
 // as shard sub-jobs across the backends and fold them back with
 // MergeShards, exactly the shape a dispatch.Pool run puts on the wire.
+// Pool cells run the whole op through the dispatch pool instead and
+// byte-compare the merged result against the in-process reference:
+// whatever the pool did — re-plan, re-select, hedge, cancel — the
+// bytes must match.
 func (cr *cellRunner) do(ctx context.Context, i, rank int) error {
+	if cr.cell.Pool {
+		req := catalogSpec(cr.cell, cr.base, rank)
+		res, err := cr.pool.Do(ctx, req)
+		if err != nil {
+			return err
+		}
+		if ref := cr.refs[rank]; !bytes.Equal(res.Body, ref) {
+			return fmt.Errorf("bench: pool result for rank %d diverged from the local reference (%d vs %d bytes)",
+				rank, len(res.Body), len(ref))
+		}
+		return nil
+	}
 	if cr.cell.Shard <= 0 {
 		req := catalogSpec(cr.cell, cr.base, rank)
 		_, err := cr.clients[i%len(cr.clients)].Do(ctx, req)

@@ -90,17 +90,19 @@ func run(args []string) error {
 	}
 
 	var (
-		grid      bench.Grid
-		opts      bench.Options
-		serveOpts = serve.Options{Executors: *execs, QueueDepth: *queue}
-		err       error
+		grid        bench.Grid
+		presetCells []bench.Cell
+		fleet       bench.Fleet
+		opts        bench.Options
+		serveOpts   = serve.Options{Executors: *execs, QueueDepth: *queue}
+		err         error
 	)
 	if *preset != "" {
 		pr, err := bench.PresetByName(*preset)
 		if err != nil {
 			return err
 		}
-		grid, opts = pr.Grid, pr.Options
+		grid, presetCells, fleet, opts = pr.Grid, pr.Cells, pr.Fleet, pr.Options
 		if *execs == 0 && *queue == 0 {
 			serveOpts = pr.Serve
 		}
@@ -124,15 +126,25 @@ func run(args []string) error {
 	}
 
 	var target *bench.Target
-	if *targets == "" {
+	switch {
+	case *targets != "":
+		target = bench.Connect(splitCSV(*targets)...)
+	case fleet.N > 0:
+		// A fleet preset boots several independent daemons (one possibly
+		// throttled) — the heterogeneous cell dispatch hedging is about.
+		if target, err = bench.SelfHostFleet(fleet.N, serveOpts, fleet.FleetDelays()); err != nil {
+			return err
+		}
+		if opts.Logf != nil {
+			opts.Logf("self-hosting a fleet of %d services (%s)", fleet.N, strings.Join(target.URLs, ", "))
+		}
+	default:
 		if target, err = bench.SelfHost(serveOpts); err != nil {
 			return err
 		}
 		if opts.Logf != nil {
 			opts.Logf("self-hosting an in-process service at %s", target.URLs[0])
 		}
-	} else {
-		target = bench.Connect(splitCSV(*targets)...)
 	}
 	defer target.Close()
 
@@ -140,6 +152,9 @@ func run(args []string) error {
 	defer stop()
 
 	cells := grid.Cells()
+	if len(presetCells) > 0 {
+		cells = presetCells
+	}
 	rep, runErr := bench.Run(ctx, target, cells, opts)
 	// A failed assertion still returns the rows measured so far; write
 	// them before reporting the failure so the evidence isn't lost.

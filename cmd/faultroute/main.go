@@ -67,24 +67,25 @@ var errUsage = errors.New("usage")
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultroute", flag.ContinueOnError)
 	var (
-		family  = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring")
-		n       = fs.Int("n", 10, "size parameter (dimension, depth, or order depending on -graph)")
-		d       = fs.Int("d", 2, "mesh/torus dimension")
-		side    = fs.Int("side", 16, "mesh/torus side length")
-		p       = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
-		seed    = fs.Uint64("seed", 1, "percolation seed (0 selects 1, the wire default)")
-		src     = fs.Uint64("src", 0, "source vertex")
-		dst     = fs.Int64("dst", -1, "destination vertex (-1: topology default, e.g. the antipode)")
-		router  = fs.String("router", "", "router: bfs-local, greedy, path-follow, double-tree-oracle, gnp-local, gnp-oracle (default: best fit for the topology)")
-		mode    = fs.String("mode", "local", "probe model: local or oracle")
-		budget  = fs.Int("budget", 0, "probe budget, 0 = unlimited")
-		show    = fs.Bool("show-path", false, "print the full path")
-		trials  = fs.Int("trials", 0, "estimate the complexity distribution over this many conditioned samples (0 = single run)")
-		tries   = fs.Int("tries", 100, "conditioning retry budget per trial (estimate mode)")
-		psweep  = fs.String("psweep", "", "comma-separated p values to batch in estimate mode (default: just -p)")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "total trial-level parallelism in estimate mode, spread across the -psweep values (results are identical for any value)")
-		timeout  = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
-		backends = fs.String("backends", "", "comma-separated faultrouted base URLs; estimate mode then shards its trials across the pool (results are byte-identical to in-process runs)")
+		family     = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring")
+		n          = fs.Int("n", 10, "size parameter (dimension, depth, or order depending on -graph)")
+		d          = fs.Int("d", 2, "mesh/torus dimension")
+		side       = fs.Int("side", 16, "mesh/torus side length")
+		p          = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
+		seed       = fs.Uint64("seed", 1, "percolation seed (0 selects 1, the wire default)")
+		src        = fs.Uint64("src", 0, "source vertex")
+		dst        = fs.Int64("dst", -1, "destination vertex (-1: topology default, e.g. the antipode)")
+		router     = fs.String("router", "", "router: bfs-local, greedy, path-follow, double-tree-oracle, gnp-local, gnp-oracle (default: best fit for the topology)")
+		mode       = fs.String("mode", "local", "probe model: local or oracle")
+		budget     = fs.Int("budget", 0, "probe budget, 0 = unlimited")
+		show       = fs.Bool("show-path", false, "print the full path")
+		trials     = fs.Int("trials", 0, "estimate the complexity distribution over this many conditioned samples (0 = single run)")
+		tries      = fs.Int("tries", 100, "conditioning retry budget per trial (estimate mode)")
+		psweep     = fs.String("psweep", "", "comma-separated p values to batch in estimate mode (default: just -p)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "total trial-level parallelism in estimate mode, spread across the -psweep values (results are identical for any value)")
+		timeout    = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
+		backends   = fs.String("backends", "", "comma-separated faultrouted base URLs; estimate mode then shards its trials across the pool (results are byte-identical to in-process runs)")
+		hedgeAfter = fs.Duration("hedge-after", 0, "with -backends: minimum time a sub-job runs before a straggler is speculatively re-dispatched (0 = pool default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -141,11 +142,24 @@ func run(args []string) error {
 		var r api.Runner = faultroute.NewLocal(faultroute.WithWorkers(*workers))
 		reqWorkers := *workers
 		if *backends != "" {
-			pool, err := dispatch.New(dispatch.ParseBackends(*backends))
+			var poolOpts []dispatch.Option
+			if *hedgeAfter > 0 {
+				poolOpts = append(poolOpts, dispatch.WithHedgeAfter(*hedgeAfter))
+			}
+			pool, err := dispatch.New(dispatch.ParseBackends(*backends), poolOpts...)
 			if err != nil {
 				return err
 			}
 			r = pool
+			// The stats line goes to stderr after the rows: stdout is the
+			// canonical result surface and must stay byte-identical to an
+			// in-process run of the same spec.
+			defer func() {
+				st := pool.Stats()
+				fmt.Fprintf(os.Stderr,
+					"dispatch: %d sub-jobs, %d failovers, %d hedges (%d wins, %d cancels), %d peer fills\n",
+					st.SubJobs, st.Failovers, st.Hedges, st.HedgeWins, st.HedgeCancels, st.PeerFills)
+			}()
 			// -workers defaults to THIS machine's core count — never
 			// impose that on remote backends unless explicitly asked.
 			workersSet := false

@@ -69,6 +69,7 @@ func run(args []string) error {
 		logMode   = fs.String("log", "off", "structured request logs on stderr: text, json, or off")
 		cacheMax  = fs.Int64("cache-max-bytes", 0, "memory result-cache budget in bytes; above it the least-recently-used results are evicted (0 = unbounded)")
 		cacheDir  = fs.String("cache-dir", "", "directory for the persistent disk result tier; results survive restarts (empty = memory only)")
+		diskMax   = fs.Int64("cache-disk-max-bytes", 0, "disk result-tier budget in bytes; above it the oldest results are removed (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,12 +97,25 @@ func run(args []string) error {
 	mem := cache.NewBounded(*cacheMax)
 	var store cache.ResultStore = mem
 	if *cacheDir != "" {
-		disk, err := cache.NewDisk(*cacheDir)
+		disk, err := cache.NewDisk(*cacheDir, cache.WithDiskMaxBytes(*diskMax))
 		if err != nil {
 			return fmt.Errorf("opening -cache-dir: %w", err)
 		}
 		store = cache.NewTiered(mem, disk)
 		fmt.Printf("faultrouted: disk cache %s recovered %d result(s)\n", *cacheDir, disk.Len())
+	}
+
+	// FAULTROUTE_TASK_DELAY slows every freshly executed task by a fixed
+	// duration — a fault-injection knob for benchmarks and cluster smoke
+	// tests that need a deliberately slow backend. Determinism makes it
+	// safe: a delay changes timing, never result bytes.
+	var taskDelay time.Duration
+	if v := os.Getenv("FAULTROUTE_TASK_DELAY"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("parsing FAULTROUTE_TASK_DELAY: %w", err)
+		}
+		taskDelay = d
 	}
 
 	svc := serve.New(serve.Options{
@@ -110,6 +124,7 @@ func run(args []string) error {
 		QueueDepth: *depth,
 		Logger:     logger,
 		Store:      store,
+		TaskDelay:  taskDelay,
 	})
 	defer svc.Close()
 

@@ -1,0 +1,262 @@
+package dispatch_test
+
+// Tests of the adaptive layers through the public surface: straggler
+// hedging (byte identity + counters), live membership (joiners admitted
+// and used, leavers drained), and cooldown recovery via Health.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faultroute"
+	"faultroute/dispatch"
+	"faultroute/serve"
+)
+
+// newSlowBackend boots a backend whose every fresh task sleeps first —
+// the deliberate straggler of the hedging tests.
+func newSlowBackend(t *testing.T, delay time.Duration) *testBackend {
+	t.Helper()
+	svc := serve.New(serve.Options{Executors: 2, Workers: 2, TaskDelay: delay})
+	b := &testBackend{svc: svc, srv: httptest.NewServer(svc.Handler())}
+	t.Cleanup(b.close)
+	return b
+}
+
+func TestPoolHedgingByteIdenticalToLocal(t *testing.T) {
+	// Three backends, one pathologically slow. With a tight hedge floor
+	// every shard stuck behind the straggler is speculatively re-run on a
+	// fast sibling; whatever mixture of primaries and hedges wins, the
+	// merged bytes must equal the in-process run.
+	fast1, fast2 := newBackend(t, nil), newBackend(t, nil)
+	slow := newSlowBackend(t, 300*time.Millisecond)
+	pool := newPool(t, []string{fast1.srv.URL, fast2.srv.URL, slow.srv.URL},
+		dispatch.WithShardTrials(4),
+		dispatch.WithHedgeAfter(30*time.Millisecond))
+	ctx := context.Background()
+
+	req := estimateReq(40)
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("hedged pool bytes differ from local:\n got %s\nwant %s", got.Body, want.Body)
+	}
+
+	st := pool.Stats()
+	if st.Hedges == 0 {
+		t.Fatal("no hedges fired against a 300ms-delayed backend with a 30ms hedge floor")
+	}
+	if st.HedgeWins == 0 {
+		t.Fatal("hedges fired but none won against a 300ms straggler")
+	}
+	// Losing attempts are canceled remotely in the background; with the
+	// straggler still asleep when the race settles, at least one DELETE
+	// must land. Poll briefly — the cancel goroutines outlive Do.
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.Stats().HedgeCancels == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no losing attempt was canceled on its backend")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPoolResolverAdmitsJoinerMidSweep(t *testing.T) {
+	// The pool starts on one backend; the resolver then grows the set and
+	// the next job must both use the joiner and stay byte-identical.
+	var joinerSubmits atomic.Int64
+	b1 := newBackend(t, nil)
+	b2 := newBackend(t, countSubmits(&joinerSubmits))
+
+	var (
+		mu   sync.Mutex
+		urls = []string{b1.srv.URL}
+	)
+	resolve := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), urls...)
+	}
+	pool, err := dispatch.New(nil, fastOpts(
+		dispatch.WithResolver(resolve),
+		dispatch.WithShardTrials(4),
+		dispatch.WithPeerFill(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	req := estimateReq(24)
+	want, err := faultroute.NewLocal().Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("single-backend pool bytes differ from local")
+	}
+	if n := len(pool.Backends()); n != 1 {
+		t.Fatalf("pool sees %d backends before the join, want 1", n)
+	}
+
+	mu.Lock()
+	urls = append(urls, b2.srv.URL)
+	mu.Unlock()
+
+	// A different spec: the first job's results are cached fleet-wide and
+	// a repeat would be answered without dispatching anything.
+	req2 := estimateReq(24)
+	req2.Estimate.Seed = 11
+	want2, err := faultroute.NewLocal().Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := pool.Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2.Body, want2.Body) {
+		t.Fatalf("post-join pool bytes differ from local")
+	}
+	if n := len(pool.Backends()); n != 2 {
+		t.Fatalf("pool sees %d backends after the join, want 2", n)
+	}
+	if joinerSubmits.Load() == 0 {
+		t.Fatal("joined backend received no sub-jobs in the job after its admission")
+	}
+}
+
+func TestPoolResolverDrainsRemovedBackend(t *testing.T) {
+	var removedSubmits atomic.Int64
+	b1 := newBackend(t, nil)
+	b2 := newBackend(t, countSubmits(&removedSubmits))
+
+	var (
+		mu   sync.Mutex
+		urls = []string{b1.srv.URL, b2.srv.URL}
+	)
+	resolve := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), urls...)
+	}
+	pool, err := dispatch.New(nil, fastOpts(
+		dispatch.WithResolver(resolve),
+		dispatch.WithShardTrials(4),
+		dispatch.WithPeerFill(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := pool.Do(ctx, estimateReq(24)); err != nil {
+		t.Fatal(err)
+	}
+	if removedSubmits.Load() == 0 {
+		t.Fatal("backend 2 got no sub-jobs while still a member")
+	}
+
+	mu.Lock()
+	urls = urls[:1]
+	mu.Unlock()
+	beforeRemoval := removedSubmits.Load()
+
+	req2 := estimateReq(24)
+	req2.Estimate.Seed = 17
+	want, err := faultroute.NewLocal().Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("post-removal pool bytes differ from local")
+	}
+	if n := len(pool.Backends()); n != 1 {
+		t.Fatalf("pool sees %d backends after the removal, want 1", n)
+	}
+	if after := removedSubmits.Load(); after != beforeRemoval {
+		t.Fatalf("drained backend received %d new sub-jobs after its removal", after-beforeRemoval)
+	}
+}
+
+func TestPoolHealthRecoversCooldownBackend(t *testing.T) {
+	// A backend that failed a sub-job sits in cooldown; a successful
+	// Health probe must lift the cooldown immediately instead of letting
+	// the mark expire on its own.
+	flaky := newHealable() // fails every submission until healed
+	var b1Submits atomic.Int64
+	b1 := newBackend(t, func(next http.Handler) http.Handler {
+		return countSubmits(&b1Submits)(flaky.wrap(next))
+	})
+	b2 := newBackend(t, nil)
+	pool := newPool(t, []string{b1.srv.URL, b2.srv.URL},
+		dispatch.WithShardTrials(4),
+		dispatch.WithPeerFill(false),
+		dispatch.WithCooldown(time.Hour)) // the probe, not the clock, must recover it
+	ctx := context.Background()
+
+	if _, err := pool.Do(ctx, estimateReq(24)); err != nil {
+		t.Fatal(err) // b2 absorbs every failover
+	}
+
+	flaky.heal()
+	var recovered bool
+	for _, h := range pool.Health(ctx) {
+		if h.URL == b1.srv.URL && h.Err == nil {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("healed backend still failing its health probe")
+	}
+
+	// The recovered backend must take sub-jobs again within the next job
+	// — an hour-long cooldown would have parked it otherwise.
+	beforeHeal := b1Submits.Load()
+	req := estimateReq(24)
+	req.Estimate.Seed = 23
+	if _, err := pool.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if b1Submits.Load() == beforeHeal {
+		t.Fatal("recovered backend received no sub-jobs after a successful health probe")
+	}
+}
+
+// healable is a failure injector that rejects every POST /v1/jobs until
+// healed.
+type healable struct {
+	healthy atomic.Bool
+}
+
+func newHealable() *healable { return &healable{} }
+
+func (h *healable) heal() { h.healthy.Store(true) }
+
+func (h *healable) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !h.healthy.Load() && r.Method == http.MethodPost {
+			http.Error(w, `{"error":"injected failure"}`, http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

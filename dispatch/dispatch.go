@@ -7,29 +7,46 @@
 // the single-backend faultroute/client — and the first that scales a
 // single estimate past one machine. The byte-identity guarantee of the
 // Runner API survives intact: a Pool over any number of backends, at any
-// shard layout, with any pattern of mid-run failures and re-dispatches,
-// returns exactly the bytes faultroute.Local computes for the same
-// request.
+// shard layout, with any pattern of mid-run failures, hedges and
+// re-dispatches, returns exactly the bytes faultroute.Local computes
+// for the same request.
 //
-// How the fan-out works, per request kind:
+// Internally the Pool is four layers, each behind a small interface so
+// policies are swappable and testable in isolation:
 //
-//   - Estimates are sharded: the [0, Trials) schedule splits into
-//     trial-range sub-jobs (api.ShardSpec), each dispatched to a backend
-//     as its own content-addressed job whose result is the range's
-//     per-trial rows. The Pool merges the rows in trial order
-//     (api.MergeShards, the core.MergeTrials semantics), which is why
-//     the shard layout can never change a byte of the output.
-//   - Experiments and percolation sweeps are dispatched whole to one
-//     backend each: their results are not trial-addressable over the
-//     wire. Concurrency across MANY such requests still fans out —
-//     DoBatch (and any concurrent Do calls) spread requests over the
-//     backend set.
+//   - The planner (planner.go) sizes an estimate's trial shards. By
+//     default it is latency-adaptive: completed sub-jobs feed a
+//     fleet-wide per-trial EWMA back between jobs, and shards are sized
+//     toward a fixed wall-time target (WithShardTarget); WithShardTrials
+//     pins a fixed size instead. Shard layout never changes bytes —
+//     api.MergeShards folds per-trial rows in trial order.
+//   - The selector (selector.go) picks the backend for each sub-job:
+//     capacity-weighted smooth round-robin, where a backend's weight is
+//     the inverse of its observed per-trial latency. With no
+//     observations it degenerates to pure rotation.
+//   - The hedger (hedger.go) watches for stragglers: an attempt that
+//     outlives its expected duration is speculatively re-dispatched to
+//     an idle backend, the first completed result wins, and the loser
+//     is canceled remotely (DELETE /v1/jobs/{id}). Determinism makes
+//     the race free: both attempts compute identical bytes.
+//   - The membership layer (membership.go) owns the live backend set.
+//     WithResolver re-resolves it between jobs: joiners are admitted,
+//     removed backends drain (they finish or fail over their running
+//     attempts and leave selection immediately).
+//
+// Fan-out per request kind: estimates are sharded into trial-range
+// sub-jobs (api.ShardSpec), each a content-addressed job of its own;
+// experiments and percolation sweeps dispatch whole to one backend
+// each (their results are not trial-addressable over the wire), though
+// DoBatch still spreads many such requests across the fleet.
 //
 // Failure handling leans on the same determinism: every sub-job is a
 // pure function of its spec, so when a backend dies mid-shard the Pool
-// simply re-dispatches the shard to a surviving backend — the retried
-// range recomputes the identical rows. Backends that fail are skipped
-// for a cooldown period; selection is round-robin over the healthy set.
+// re-dispatches the shard to a surviving backend and the retried range
+// recomputes identical rows. Failing backends cool down; a cooled-down
+// backend that recovers (next successful Health probe) re-enters
+// selection with its latency estimate reset to the fleet median, so a
+// crash's worst-case EWMA cannot down-weight it forever.
 //
 // The same determinism powers peer cache fill (on by default, see
 // WithPeerFill): before dispatching a sub-job the Pool probes the
@@ -52,15 +69,15 @@ import (
 	"faultroute/internal/metrics"
 )
 
-// Dispatch counters, registered once in the process-wide metrics
+// Dispatch series, registered once in the process-wide metrics
 // registry: a Pool is not an HTTP service, so its series surface on
 // whatever /v1/metrics endpoint the process exposes (an embedded
 // serve.Service appends metrics.Process() to every scrape). Pools in
 // one process share the counters, the same way a process shares its
-// runtime metrics.
+// runtime metrics; per-pool views come from Pool.Stats.
 var (
 	mSubJobs = metrics.Process().Counter("faultroute_dispatch_subjobs_total",
-		"Sub-job dispatch attempts sent to backends, re-dispatches included.")
+		"Sub-job dispatch attempts sent to backends, re-dispatches and hedges included.")
 	mFailovers = metrics.Process().Counter("faultroute_dispatch_failovers_total",
 		"Sub-jobs re-dispatched to another backend after a transient failure.")
 	mBackendsDown = metrics.Process().Counter("faultroute_dispatch_backends_down_total",
@@ -69,48 +86,74 @@ var (
 		"Peer result-cache probes (GET /v1/results/{key}) issued before dispatching sub-jobs.")
 	mPeerFills = metrics.Process().Counter("faultroute_dispatch_peer_fills_total",
 		"Sub-jobs answered from a peer backend's result cache, no work dispatched.")
+	mHedges = metrics.Process().Counter("faultroute_dispatch_hedges_total",
+		"Speculative duplicate attempts launched against straggling sub-jobs.")
+	mHedgeWins = metrics.Process().Counter("faultroute_dispatch_hedge_wins_total",
+		"Hedged sub-jobs whose speculative attempt finished first.")
+	mHedgeCancels = metrics.Process().Counter("faultroute_dispatch_hedge_cancels_total",
+		"Losing attempts of settled hedge races canceled on their backend (DELETE /v1/jobs/{id}).")
+	mMembersJoined = metrics.Process().Counter("faultroute_dispatch_members_joined_total",
+		"Backends admitted into a pool by membership re-resolution (WithResolver).")
+	mMembersLeft = metrics.Process().Counter("faultroute_dispatch_members_left_total",
+		"Backends drained out of a pool by membership re-resolution (WithResolver).")
+	mBackendEWMA = metrics.Process().GaugeVec("faultroute_dispatch_backend_trial_ewma_us",
+		"Observed per-trial sub-job completion latency EWMA by backend, in microseconds — the selector's capacity signal.",
+		"backend")
 )
 
-// Pool dispatches requests across a fixed set of faultrouted backends.
-// Construct with New; a Pool is immutable after construction and safe
-// for concurrent use — concurrent Do/Watch/DoBatch calls share the
-// in-flight sub-job bound.
+// Pool dispatches requests across a set of faultrouted backends.
+// Construct with New; a Pool is safe for concurrent use — concurrent
+// Do/Watch/DoBatch calls share the in-flight sub-job bound. The
+// backend set is fixed unless WithResolver makes membership live.
 type Pool struct {
-	backends []*backend
-	rr       atomic.Uint64 // round-robin cursor
-	sem      chan struct{} // bounds in-flight sub-jobs, pool-wide
+	members *memberSet
+	sel     selector
+	planner planner
+	hedge   hedger
+	sem     chan struct{} // bounds in-flight sub-jobs, pool-wide
 
-	shardTrials int
-	attempts    int
+	attempts    int // 0 = dynamic: current member count + 1
 	cooldown    time.Duration
 	peerFill    bool
 	peerTimeout time.Duration
+
+	stats poolStats
 }
 
-// backend is one faultrouted base URL plus its health mark.
-type backend struct {
-	url string
-	c   *client.Client
-
-	mu        sync.Mutex
-	downUntil time.Time
+// poolStats is the Pool's own view of the process-wide counters.
+type poolStats struct {
+	subJobs, failovers      atomic.Uint64
+	hedges, hedgeWins       atomic.Uint64
+	hedgeCancels, peerFills atomic.Uint64
 }
 
-// markDown records a dispatch failure: the backend is skipped by
-// selection until the cooldown passes (it stays eligible as a last
-// resort when every backend is down).
-func (b *backend) markDown(cooldown time.Duration) {
-	b.mu.Lock()
-	b.downUntil = time.Now().Add(cooldown)
-	b.mu.Unlock()
-	mBackendsDown.Inc()
+// PoolStats is a point-in-time snapshot of one Pool's dispatch
+// activity (the process-wide faultroute_dispatch_* series aggregate
+// every pool in the process; this is the per-pool split).
+type PoolStats struct {
+	// SubJobs counts sub-job attempts sent to backends, re-dispatches
+	// and hedges included.
+	SubJobs uint64
+	// Failovers counts sub-jobs re-dispatched after a transient failure.
+	Failovers uint64
+	// Hedges counts speculative duplicate attempts launched; HedgeWins
+	// counts races the speculative attempt won; HedgeCancels counts
+	// losing attempts successfully canceled on their backend.
+	Hedges, HedgeWins, HedgeCancels uint64
+	// PeerFills counts sub-jobs answered from a peer's result cache.
+	PeerFills uint64
 }
 
-// up reports whether the backend is currently eligible for selection.
-func (b *backend) up() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return time.Now().After(b.downUntil)
+// Stats returns the Pool's cumulative dispatch counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		SubJobs:      p.stats.subJobs.Load(),
+		Failovers:    p.stats.failovers.Load(),
+		Hedges:       p.stats.hedges.Load(),
+		HedgeWins:    p.stats.hedgeWins.Load(),
+		HedgeCancels: p.stats.hedgeCancels.Load(),
+		PeerFills:    p.stats.peerFills.Load(),
+	}
 }
 
 // Option configures a Pool.
@@ -118,11 +161,15 @@ type Option func(*settings)
 
 type settings struct {
 	clientOpts  []client.Option
+	resolver    func() []string
 	shardTrials int
+	shardTarget time.Duration
 	maxInFlight int
 	attempts    int
 	cooldown    time.Duration
 	peerFill    bool
+	hedging     bool
+	hedgeAfter  time.Duration
 	peerTimeout time.Duration
 }
 
@@ -132,21 +179,43 @@ func WithClientOptions(opts ...client.Option) Option {
 	return func(s *settings) { s.clientOpts = append(s.clientOpts, opts...) }
 }
 
-// WithShardTrials sets how many trials each estimate sub-job carries
-// (<= 0 restores the default: the trial range splits into about four
-// shards per backend, so a straggling backend can be overtaken). The
-// shard layout never affects result bytes — only how the work spreads.
+// WithResolver makes membership live: resolve is consulted between
+// jobs (at the start of every Do/Watch/DoBatch request) and the pool's
+// backend set follows it. Newly resolved URLs join with a fresh health
+// state; URLs that disappear drain — they take no new sub-jobs, and
+// attempts already running against them finish or fail over on their
+// own. Kept backends retain their health marks and latency estimates.
+// A resolver returning an empty list is ignored (indistinguishable
+// from an outage of the resolver itself). When New is called with an
+// empty target list, the resolver provides the initial set.
+func WithResolver(resolve func() []string) Option {
+	return func(s *settings) { s.resolver = resolve }
+}
+
+// WithShardTrials pins how many trials each estimate sub-job carries,
+// disabling adaptive sizing (<= 0 restores the default: adaptive
+// shard sizing, see WithShardTarget). The shard layout never affects
+// result bytes — only how the work spreads.
 func WithShardTrials(n int) Option { return func(s *settings) { s.shardTrials = n } }
+
+// WithShardTarget sets the wall time the adaptive planner aims each
+// shard at (<= 0 restores the default of 1s). Completed sub-jobs feed
+// a fleet-wide per-trial latency EWMA back into the planner between
+// jobs; shard size is target/EWMA, clamped between two and eight
+// shards per backend. Before the first observation the planner splits
+// about four shards per backend. Ignored when WithShardTrials pins a
+// fixed size.
+func WithShardTarget(d time.Duration) Option { return func(s *settings) { s.shardTarget = d } }
 
 // WithMaxInFlight bounds how many sub-jobs the Pool keeps outstanding
 // across all concurrent calls (<= 0 restores the default of four per
-// backend). The bound is what keeps a huge estimate from flooding every
-// backend's submission queue at once.
+// initially configured backend). The bound is what keeps a huge
+// estimate from flooding every backend's submission queue at once.
 func WithMaxInFlight(n int) Option { return func(s *settings) { s.maxInFlight = n } }
 
 // WithAttempts sets how many backends a failing sub-job is tried on
-// before the request fails (<= 0 restores the default: the number of
-// backends plus one, so a single dead backend can never fail a
+// before the request fails (<= 0 restores the default: the current
+// member count plus one, so a single dead backend can never fail a
 // request). Only transient failures — network errors, 5xx responses,
 // remote cancellation — consume attempts; a deterministic job failure
 // is final immediately, because it would fail identically everywhere.
@@ -154,8 +223,27 @@ func WithAttempts(n int) Option { return func(s *settings) { s.attempts = n } }
 
 // WithCooldown sets how long a backend that failed a sub-job is skipped
 // by selection (default 15s; it is still used as a last resort when
-// every backend is marked down).
+// every backend is marked down). A successful Health probe ends the
+// cooldown early and resets the backend's latency estimate to the
+// fleet median.
 func WithCooldown(d time.Duration) Option { return func(s *settings) { s.cooldown = d } }
+
+// WithHedging enables or disables straggler speculation (default on,
+// in pools with at least two backends): an attempt that outlives its
+// expected duration — the backend's per-trial latency EWMA times the
+// sub-job's trial count, floored by WithHedgeAfter — is duplicated
+// onto the idlest untried backend. The first completed result wins and
+// the loser is canceled remotely (DELETE /v1/jobs/{id}). By the
+// determinism contract both attempts compute identical bytes, so
+// hedging changes tail latency, never output.
+func WithHedging(enabled bool) Option { return func(s *settings) { s.hedging = enabled } }
+
+// WithHedgeAfter sets the minimum time an attempt runs before it may
+// be hedged (<= 0 restores the default of 400ms). With no latency
+// observations yet this floor IS the hedge delay; once EWMAs exist the
+// delay is the larger of the floor and twice the attempt's expected
+// duration.
+func WithHedgeAfter(d time.Duration) Option { return func(s *settings) { s.hedgeAfter = d } }
 
 // WithPeerFill enables or disables peer cache fill (default on, in
 // pools with at least two backends): before dispatching a sub-job, the
@@ -173,6 +261,11 @@ func WithPeerFill(enabled bool) Option { return func(s *settings) { s.peerFill =
 // peer from stalling fresh work.
 func WithPeerProbeTimeout(d time.Duration) Option { return func(s *settings) { s.peerTimeout = d } }
 
+// hedgeFactor scales an attempt's expected duration into its hedge
+// trigger: only attempts at least this many times over their estimate
+// are treated as stragglers.
+const hedgeFactor = 2.0
+
 // ParseBackends splits a comma-separated backend list — the form the
 // CLIs' -backends flag takes — into base URLs, trimming whitespace and
 // dropping empty entries.
@@ -187,48 +280,61 @@ func ParseBackends(s string) []string {
 }
 
 // New returns a Pool over the given faultrouted base URLs, e.g.
-// []string{"http://host-a:8080", "http://host-b:8080"}. New performs no
-// I/O; use Health to probe the backends.
+// []string{"http://host-a:8080", "http://host-b:8080"}. With
+// WithResolver, targets may be empty — the resolver provides the
+// initial set (and every later one). New performs no I/O beyond that
+// initial resolution; use Health to probe the backends.
 func New(targets []string, opts ...Option) (*Pool, error) {
-	if len(targets) == 0 {
-		return nil, errors.New("dispatch: no backends configured")
-	}
-	s := settings{cooldown: 15 * time.Second, peerFill: true}
+	s := settings{cooldown: 15 * time.Second, peerFill: true, hedging: true}
 	for _, opt := range opts {
 		opt(&s)
+	}
+	if len(targets) == 0 && s.resolver != nil {
+		targets = s.resolver()
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("dispatch: no backends configured")
 	}
 	if s.maxInFlight <= 0 {
 		s.maxInFlight = 4 * len(targets)
 	}
-	if s.attempts <= 0 {
-		s.attempts = len(targets) + 1
-	}
 	if s.peerTimeout <= 0 {
 		s.peerTimeout = 250 * time.Millisecond
 	}
-	p := &Pool{
-		backends:    make([]*backend, len(targets)),
+	if s.hedgeAfter <= 0 {
+		s.hedgeAfter = 400 * time.Millisecond
+	}
+	if s.shardTarget <= 0 {
+		s.shardTarget = time.Second
+	}
+	var pl planner = &adaptivePlanner{target: s.shardTarget}
+	if s.shardTrials > 0 {
+		pl = fixedPlanner{size: s.shardTrials}
+	}
+	return &Pool{
+		members:     newMemberSet(targets, s.resolver, s.clientOpts),
+		sel:         &weightedSelector{},
+		planner:     pl,
+		hedge:       hedger{enabled: s.hedging, floor: s.hedgeAfter, factor: hedgeFactor},
 		sem:         make(chan struct{}, s.maxInFlight),
-		shardTrials: s.shardTrials,
 		attempts:    s.attempts,
 		cooldown:    s.cooldown,
-		peerFill:    s.peerFill && len(targets) > 1,
+		peerFill:    s.peerFill,
 		peerTimeout: s.peerTimeout,
-	}
-	for i, url := range targets {
-		p.backends[i] = &backend{url: url, c: client.New(url, s.clientOpts...)}
-	}
-	return p, nil
+	}, nil
 }
 
 // Compile-time check: a Pool is interchangeable with Local and Client.
 var _ api.Runner = (*Pool)(nil)
 
-// Backends returns the configured base URLs, in selection order.
+// Backends returns the pool's current base URLs, in selection order.
+// With WithResolver the list reflects the membership as of the last
+// refresh (New, or the start of the most recent request).
 func (p *Pool) Backends() []string {
-	out := make([]string, len(p.backends))
-	for i, b := range p.backends {
-		out[i] = b.url
+	members := p.members.snapshot()
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = m.url
 	}
 	return out
 }
@@ -243,26 +349,36 @@ type BackendHealth struct {
 	Health api.Health
 }
 
-// Health probes every backend's /v1/healthz concurrently and returns
-// the reports in configuration order. Unreachable backends are marked
-// down (entering the selection cooldown), so a Health call doubles as a
-// way to warm the Pool's view of the cluster before dispatching.
+// Health re-resolves membership, probes every backend's /v1/healthz
+// concurrently and returns the reports in selection order. Unreachable
+// backends are marked down (entering the selection cooldown); a
+// backend that answers after having been down recovers immediately —
+// its cooldown ends and its latency estimate resets to the fleet
+// median, so a stale worst-case EWMA cannot down-weight a recovered
+// machine. A Health call therefore doubles as a way to warm (or
+// repair) the Pool's view of the cluster before dispatching.
 func (p *Pool) Health(ctx context.Context) []BackendHealth {
-	out := make([]BackendHealth, len(p.backends))
+	p.members.refresh()
+	members := p.members.snapshot()
+	median := fleetMedianEWMA(members)
+	out := make([]BackendHealth, len(members))
 	var wg sync.WaitGroup
-	for i, b := range p.backends {
+	for i, m := range members {
 		wg.Add(1)
-		go func(i int, b *backend) {
+		go func(i int, m *member) {
 			defer wg.Done()
-			h, err := b.c.Health(ctx)
-			out[i] = BackendHealth{URL: b.url, Err: err, Health: h}
-			// A probe that died because the CALLER's context expired says
-			// nothing about the backend — marking the whole cluster down
-			// off a canceled warm-up would poison selection for a cooldown.
-			if err != nil && ctx.Err() == nil {
-				b.markDown(p.cooldown)
+			h, err := m.c.Health(ctx)
+			out[i] = BackendHealth{URL: m.url, Err: err, Health: h}
+			switch {
+			case err == nil:
+				m.recover(median)
+			case ctx.Err() == nil:
+				// A probe that died because the CALLER's context expired says
+				// nothing about the backend — marking the whole cluster down
+				// off a canceled warm-up would poison selection for a cooldown.
+				m.markDown(p.cooldown)
 			}
-		}(i, b)
+		}(i, m)
 	}
 	wg.Wait()
 	return out
@@ -276,9 +392,9 @@ func (p *Pool) Do(ctx context.Context, req api.Request) (api.Result, error) {
 
 // Watch is Do with aggregated progress events: onEvent observes a
 // leading running event, monotonically non-decreasing running counters
-// summed across every sub-job (re-dispatched shards never move the sum
-// backwards), and a trailing done event. Events may arrive from
-// internal goroutines but are delivered sequentially.
+// summed across every sub-job (re-dispatched or hedged shards never
+// move the sum backwards), and a trailing done event. Events may
+// arrive from internal goroutines but are delivered sequentially.
 func (p *Pool) Watch(ctx context.Context, req api.Request, onEvent func(api.Event)) (api.Result, error) {
 	return p.run(ctx, req, onEvent)
 }
@@ -321,8 +437,9 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []api.Request) ([]api.Result, e
 }
 
 // run compiles the request locally (the Pool validates and normalizes
-// with the same codec every backend uses), then either shards it or
-// dispatches it whole.
+// with the same codec every backend uses), refreshes membership — the
+// between-jobs boundary where backends join and leave — then either
+// shards the request or dispatches it whole.
 func (p *Pool) run(ctx context.Context, req api.Request, onEvent func(api.Event)) (api.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -331,11 +448,12 @@ func (p *Pool) run(ctx context.Context, req api.Request, onEvent func(api.Event)
 	if err != nil {
 		return api.Result{}, err
 	}
+	p.members.refresh()
 	norm := plan.Request
 	agg := newAggregator(onEvent, plan.Total)
 	agg.start()
 	var res api.Result
-	if ranges := p.shardRanges(norm); len(ranges) > 1 {
+	if ranges := shardRanges(p.planner, norm, len(p.members.snapshot())); len(ranges) > 1 {
 		res, err = p.runSharded(ctx, norm, plan.Key, ranges, agg)
 	} else {
 		res, err = p.dispatch(ctx, norm, 0, agg)
@@ -345,37 +463,6 @@ func (p *Pool) run(ctx context.Context, req api.Request, onEvent func(api.Event)
 	}
 	agg.finish()
 	return res, nil
-}
-
-// shardRanges returns the trial ranges the request splits into, or nil
-// when the request dispatches whole (non-estimates, sub-jobs already
-// carrying a shard, and schedules too small to be worth splitting).
-func (p *Pool) shardRanges(norm api.Request) []api.ShardSpec {
-	if norm.Kind != api.KindEstimate || norm.Estimate == nil || norm.Estimate.Shard != nil {
-		return nil
-	}
-	trials := norm.Estimate.Trials
-	size := p.shardTrials
-	if size <= 0 {
-		// Aim for ~4 shards per backend so a slow backend's share can be
-		// overtaken by the others, without drowning in per-job overhead.
-		size = (trials + 4*len(p.backends) - 1) / (4 * len(p.backends))
-	}
-	if size < 1 {
-		size = 1
-	}
-	if size >= trials {
-		return nil
-	}
-	ranges := make([]api.ShardSpec, 0, (trials+size-1)/size)
-	for off := 0; off < trials; off += size {
-		n := size
-		if off+n > trials {
-			n = trials - off
-		}
-		ranges = append(ranges, api.ShardSpec{Offset: off, Count: n})
-	}
-	return ranges
 }
 
 // runSharded fans the estimate's trial ranges out as concurrent
@@ -439,10 +526,11 @@ func mustShard(res api.Result, want api.ShardSpec) (api.ShardResult, error) {
 	return sr, nil
 }
 
-// dispatch runs one sub-job to completion on some backend, failing over
-// to others on transient errors. slot identifies the sub-job to the
-// progress aggregator. The call holds one in-flight token for its whole
-// duration (submit, poll, fetch, retries).
+// dispatch runs one sub-job to completion on some backend, hedging
+// stragglers and failing over on transient errors. slot identifies the
+// sub-job to the progress aggregator. The call holds one in-flight
+// token for its whole duration (submit, poll, fetch, retries, hedges —
+// a hedge races under its primary's token rather than consuming one).
 func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *aggregator) (api.Result, error) {
 	select {
 	case p.sem <- struct{}{}:
@@ -451,33 +539,39 @@ func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *agg
 	}
 	defer func() { <-p.sem }()
 
+	members := p.members.snapshot()
+	if len(members) == 0 {
+		return api.Result{}, errors.New("dispatch: no backends resolved")
+	}
+
 	// Peer cache fill: a sibling backend may already hold this sub-job's
 	// content-addressed result — from an earlier run, an overlapping
 	// request, or a previous shard layout that happened to align. One
 	// cheap GET then replaces a full submit/poll/fetch round.
-	if p.peerFill {
-		if res, total, ok := p.probePeers(ctx, req); ok {
+	if p.peerFill && len(members) > 1 {
+		if res, total, ok := p.probePeers(ctx, members, req); ok {
 			agg.observe(slot, total)
 			return res, nil
 		}
 	}
 
+	attempts := p.attempts
+	if attempts <= 0 {
+		attempts = len(members) + 1
+	}
 	var lastErr error
-	tried := make(map[*backend]bool, p.attempts)
-	for attempt := 0; attempt < p.attempts; attempt++ {
-		b := p.pick(tried)
-		tried[b] = true
-		mSubJobs.Inc()
+	tried := make(map[*member]bool, attempts)
+	for attempt := 0; attempt < attempts; attempt++ {
+		m := p.sel.pick(members, tried)
+		if m == nil {
+			break
+		}
+		tried[m] = true
 		if attempt > 0 {
 			mFailovers.Inc()
+			p.stats.failovers.Add(1)
 		}
-		// Fold every sub-job counter into the aggregate, terminal events
-		// included (a fast sub-job may finish between two polls, so its
-		// only observed event is the terminal one); the aggregator owns
-		// the pool-level running/done state transitions.
-		res, err := b.c.Watch(ctx, req, func(ev api.Event) {
-			agg.observe(slot, ev.Done)
-		})
+		res, err := p.runAttempt(ctx, m, req, slot, agg, members, tried)
 		if err == nil {
 			return res, nil
 		}
@@ -487,7 +581,6 @@ func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *agg
 		if !failoverable(err) {
 			return api.Result{}, err
 		}
-		b.markDown(p.cooldown)
 		lastErr = err
 	}
 	return api.Result{}, fmt.Errorf("dispatch: sub-job failed on %d backend(s): %w", len(tried), lastErr)
@@ -501,28 +594,28 @@ func (p *Pool) dispatch(ctx context.Context, req api.Request, slot int, agg *agg
 // falls through to a normal dispatch instead of merging wrong bytes.
 // Returns the result, the sub-job's total trial count (for the progress
 // aggregator), and whether any peer answered.
-func (p *Pool) probePeers(ctx context.Context, req api.Request) (api.Result, int64, bool) {
+func (p *Pool) probePeers(ctx context.Context, members []*member, req api.Request) (api.Result, int64, bool) {
 	plan, err := api.Compile(req)
 	if err != nil {
 		return api.Result{}, 0, false // let dispatch surface the compile error
 	}
 	pctx, cancel := context.WithTimeout(ctx, p.peerTimeout)
 	defer cancel()
-	ch := make(chan []byte, len(p.backends))
+	ch := make(chan []byte, len(members))
 	probed := 0
-	for _, b := range p.backends {
-		if !b.up() {
+	for _, m := range members {
+		if !m.up() {
 			continue // a probe to a down backend would just eat the deadline
 		}
 		probed++
 		mPeerProbes.Inc()
-		go func(b *backend) {
-			body, err := b.c.Result(pctx, plan.Key)
+		go func(m *member) {
+			body, err := m.c.Result(pctx, plan.Key)
 			if err != nil {
 				body = nil // misses (404) and dead peers look the same here
 			}
 			ch <- body
-		}(b)
+		}(m)
 	}
 	for i := 0; i < probed; i++ {
 		body := <-ch
@@ -536,39 +629,10 @@ func (p *Pool) probePeers(ctx context.Context, req api.Request) (api.Result, int
 			}
 		}
 		mPeerFills.Inc()
+		p.stats.peerFills.Add(1)
 		return res, plan.Total, true
 	}
 	return api.Result{}, 0, false
-}
-
-// pick selects the next backend round-robin, preferring backends that
-// are up and untried this sub-job, then untried ones still in cooldown
-// (a fresh chance beats a backend that just failed THIS sub-job), then
-// up-but-already-tried ones; a fully down, fully tried pool still
-// yields a backend (the caller's attempt budget is the real bound).
-func (p *Pool) pick(tried map[*backend]bool) *backend {
-	start := int(p.rr.Add(1) - 1)
-	n := len(p.backends)
-	var fallbackUp, fallbackUntried *backend
-	for i := 0; i < n; i++ {
-		b := p.backends[(start+i)%n]
-		up, fresh := b.up(), !tried[b]
-		switch {
-		case up && fresh:
-			return b
-		case up && fallbackUp == nil:
-			fallbackUp = b
-		case fresh && fallbackUntried == nil:
-			fallbackUntried = b
-		}
-	}
-	if fallbackUntried != nil {
-		return fallbackUntried
-	}
-	if fallbackUp != nil {
-		return fallbackUp
-	}
-	return p.backends[start%n]
 }
 
 // failoverable classifies a sub-job failure: transient failures are
@@ -582,8 +646,9 @@ func failoverable(err error) bool {
 	var jobErr *client.JobError
 	if errors.As(err, &jobErr) {
 		// A remotely canceled job (backend shutting down, operator
-		// intervention) recomputes cleanly elsewhere; a failed job ran its
-		// deterministic task to an error and would fail again.
+		// intervention, a hedge race settled by a sibling) recomputes
+		// cleanly elsewhere; a failed job ran its deterministic task to an
+		// error and would fail again.
 		return jobErr.Status.State == api.JobCanceled
 	}
 	// Network errors, truncated responses, decode failures: transient.
@@ -593,7 +658,8 @@ func failoverable(err error) bool {
 // aggregator serializes progress events across sub-job watchers and
 // keeps the summed counter monotone: each slot contributes the maximum
 // Done it has ever reported, so a shard restarting on another backend
-// (from zero) never moves the total backwards.
+// (from zero) — or two hedged attempts racing through the same slot —
+// never moves the total backwards.
 type aggregator struct {
 	onEvent func(api.Event)
 	total   int64

@@ -1,0 +1,168 @@
+package dispatch
+
+// White-box tests of the layer policies in isolation: planner sizing
+// math, capacity-weighted selection, and cooldown/EWMA recovery.
+
+import (
+	"testing"
+	"time"
+
+	"faultroute/api"
+)
+
+func TestAdaptivePlannerColdStartMatchesHeuristic(t *testing.T) {
+	p := &adaptivePlanner{target: time.Second}
+	if got, want := p.shardSize(100, 3), heuristicShardSize(100, 3); got != want {
+		t.Fatalf("cold shardSize = %d, want heuristic %d", got, want)
+	}
+}
+
+func TestAdaptivePlannerTracksObservedLatency(t *testing.T) {
+	p := &adaptivePlanner{target: time.Second}
+	// 10ms per trial observed: the target fits 100 trials per shard, but
+	// the upper clamp (two shards per backend) must cap it for a small
+	// job first.
+	p.observe(10, 100*time.Millisecond)
+	if got := p.shardSize(1000, 4); got != 100 {
+		t.Fatalf("shardSize(1000 trials, 4 backends) = %d, want 100 (target/perTrial)", got)
+	}
+	if got, max := p.shardSize(100, 4), (100+7)/8; got != max {
+		t.Fatalf("shardSize(100 trials, 4 backends) = %d, want clamp %d (2 shards per backend)", got, max)
+	}
+	// Very slow trials: the lower clamp (8 shards per backend) keeps the
+	// job from shattering into per-trial jobs.
+	slow := &adaptivePlanner{target: time.Second}
+	slow.observe(1, 10*time.Second)
+	if got, min := slow.shardSize(640, 4), 640/32; got != min {
+		t.Fatalf("shardSize under slow trials = %d, want clamp %d (8 shards per backend)", got, min)
+	}
+}
+
+func TestShardRangesCoverTrialsExactly(t *testing.T) {
+	pl := fixedPlanner{size: 7}
+	ranges := shardRanges(pl, estimateRequest(40), 3)
+	var total int
+	next := 0
+	for _, r := range ranges {
+		if r.Offset != next {
+			t.Fatalf("range offset %d, want %d (contiguous from 0)", r.Offset, next)
+		}
+		next = r.Offset + r.Count
+		total += r.Count
+	}
+	if total != 40 {
+		t.Fatalf("ranges cover %d trials, want 40", total)
+	}
+}
+
+func TestWeightedSelectorEqualWeightsRotate(t *testing.T) {
+	// With no latency observations every member weighs 1.0 and selection
+	// must degenerate to plain rotation — the pre-refactor behavior the
+	// failover tests pin (first pick = first member).
+	members := []*member{{url: "a"}, {url: "b"}, {url: "c"}}
+	s := &weightedSelector{}
+	var got []string
+	for i := 0; i < 6; i++ {
+		got = append(got, s.pick(members, map[*member]bool{}).url)
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("equal-weight schedule %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeightedSelectorFavorsFastMembers(t *testing.T) {
+	fast := &member{url: "fast", ewma: time.Millisecond}
+	slowM := &member{url: "slow", ewma: 4 * time.Millisecond}
+	members := []*member{fast, slowM}
+	s := &weightedSelector{}
+	counts := map[string]int{}
+	for i := 0; i < 100; i++ {
+		counts[s.pick(members, map[*member]bool{}).url]++
+	}
+	// 4:1 latency split → 4:1 selection split (80/20), smooth.
+	if counts["fast"] <= 2*counts["slow"] {
+		t.Fatalf("fast member picked %d times vs slow %d, want a clear capacity split", counts["fast"], counts["slow"])
+	}
+	if counts["slow"] == 0 {
+		t.Fatal("slow member starved outright — the weight cap must keep it sampled")
+	}
+}
+
+func TestWeightedSelectorPrefersUntried(t *testing.T) {
+	a, b := &member{url: "a"}, &member{url: "b"}
+	tried := map[*member]bool{a: true}
+	s := &weightedSelector{}
+	if got := s.pick([]*member{a, b}, tried); got != b {
+		t.Fatalf("pick chose already-tried %q over fresh %q", got.url, b.url)
+	}
+}
+
+func TestMemberRecoverResetsEWMAToFleetMedian(t *testing.T) {
+	m := &member{url: "x"}
+	m.observe(time.Millisecond)
+	m.markDown(time.Hour)
+	// The failure-era estimate is catastrophic; recovery must not keep it.
+	m.wasDown = true
+	m.ewma = 10 * time.Second
+
+	median := 2 * time.Millisecond
+	m.recover(median)
+	if !m.up() {
+		t.Fatal("recovered member still in cooldown")
+	}
+	if got := m.trialEWMA(); got != median {
+		t.Fatalf("recovered EWMA = %v, want fleet median %v", got, median)
+	}
+	// A second recover is a no-op: only a down member resets.
+	m.observe(5 * time.Millisecond)
+	before := m.trialEWMA()
+	m.recover(median)
+	if got := m.trialEWMA(); got != before {
+		t.Fatalf("recover on a healthy member rewrote its EWMA: %v -> %v", before, got)
+	}
+}
+
+func TestMemberObserveDiscardsPreFailureEWMA(t *testing.T) {
+	m := &member{url: "y"}
+	m.observe(10 * time.Second) // pathological pre-failure estimate
+	m.markDown(time.Millisecond)
+	time.Sleep(2 * time.Millisecond) // cooldown lapses on its own
+	m.observe(time.Millisecond)
+	if got := m.trialEWMA(); got != time.Millisecond {
+		t.Fatalf("post-failure EWMA = %v, want a clean restart at 1ms", got)
+	}
+}
+
+func TestFleetMedianEWMA(t *testing.T) {
+	members := []*member{
+		{ewma: 3 * time.Millisecond},
+		{ewma: time.Millisecond},
+		{}, // no observation: excluded
+		{ewma: 9 * time.Millisecond},
+	}
+	if got := fleetMedianEWMA(members); got != 3*time.Millisecond {
+		t.Fatalf("fleet median = %v, want 3ms", got)
+	}
+	if got := fleetMedianEWMA([]*member{{}, {}}); got != 0 {
+		t.Fatalf("median of unobserved fleet = %v, want 0", got)
+	}
+}
+
+func TestHedgerDelayFloorsAndScales(t *testing.T) {
+	h := hedger{enabled: true, floor: 400 * time.Millisecond, factor: 2}
+	if got := h.delay(0); got != 400*time.Millisecond {
+		t.Fatalf("delay with unknown expectation = %v, want the 400ms floor", got)
+	}
+	if got := h.delay(time.Second); got != 2*time.Second {
+		t.Fatalf("delay for a 1s attempt = %v, want 2s (factor)", got)
+	}
+}
+
+// estimateRequest builds a minimal normalized estimate for planner
+// tests (white-box: no wire validation needed).
+func estimateRequest(trials int) api.Request {
+	return api.Request{Kind: api.KindEstimate, Estimate: &api.EstimateSpec{Trials: trials}}
+}

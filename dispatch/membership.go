@@ -1,0 +1,204 @@
+package dispatch
+
+// The membership layer: which backends the Pool may dispatch to right
+// now. A memberSet owns the live member list; with WithResolver it
+// re-resolves the backend set between jobs, admitting joiners and
+// draining removed backends without restarting the Pool.
+//
+// Draining is structural rather than stateful: sub-jobs hold *member
+// references, so removing a member from the set only removes it from
+// FUTURE selection — attempts already running against it finish (or
+// fail over) on their own, and the member is garbage once the last one
+// returns. There is nothing to flush and no stop-the-world barrier,
+// which is exactly what the determinism contract buys: a drained
+// backend's unfinished shards recompute identically elsewhere.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultroute/client"
+)
+
+// member is one backend in the Pool's current view: its client, its
+// health mark, and the observed-capacity state the selector, planner
+// and hedger feed on.
+type member struct {
+	url string
+	c   *client.Client
+
+	mu        sync.Mutex
+	downUntil time.Time
+	wasDown   bool          // down since the last EWMA reset; cleared on recovery
+	ewma      time.Duration // per-trial completion latency EWMA (0 = no observation)
+
+	// credit is the member's smooth-weighted-round-robin balance; it is
+	// owned by the selector and only touched under the selector's lock.
+	credit float64
+
+	// inflight counts sub-job attempts currently running against this
+	// backend — the hedger's idleness signal.
+	inflight atomic.Int64
+}
+
+// markDown records a dispatch failure: the backend is skipped by
+// selection until the cooldown passes (it stays eligible as a last
+// resort when every backend is down).
+func (m *member) markDown(cooldown time.Duration) {
+	m.mu.Lock()
+	m.downUntil = time.Now().Add(cooldown)
+	m.wasDown = true
+	m.mu.Unlock()
+	mBackendsDown.Inc()
+}
+
+// up reports whether the backend is currently eligible for selection.
+func (m *member) up() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Now().After(m.downUntil)
+}
+
+// trialEWMA returns the member's per-trial latency EWMA (0 when no
+// sub-job has completed on it yet).
+func (m *member) trialEWMA() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewma
+}
+
+// ewmaAlpha is the smoothing factor of every latency EWMA in the pool:
+// heavy enough that one slow shard moves the estimate, light enough
+// that one cache hit does not erase a backend's history.
+const ewmaAlpha = 0.3
+
+// observe folds one completed sub-job's per-trial latency into the
+// member's EWMA. A member that was marked down discards its stale
+// estimate first (see recover): the pre-failure worst case must not
+// outlive the failure.
+func (m *member) observe(perTrial time.Duration) {
+	m.mu.Lock()
+	switch {
+	case m.wasDown || m.ewma == 0:
+		m.ewma = perTrial
+		m.wasDown = false
+	default:
+		m.ewma += time.Duration(ewmaAlpha * float64(perTrial-m.ewma))
+	}
+	ewma := m.ewma
+	m.mu.Unlock()
+	mBackendEWMA.With(m.url).Set(int64(ewma / time.Microsecond))
+}
+
+// recover clears a previously-down member's health mark and resets its
+// latency estimate to the fleet median: the stale worst-case EWMA a
+// backend earned while failing must not permanently down-weight it
+// after it comes back (a recovered machine is presumed ordinary until
+// observed otherwise). No-op for members that were never down.
+func (m *member) recover(fleetMedian time.Duration) {
+	m.mu.Lock()
+	if m.wasDown {
+		m.downUntil = time.Time{}
+		m.wasDown = false
+		if fleetMedian > 0 {
+			m.ewma = fleetMedian
+			mBackendEWMA.With(m.url).Set(int64(fleetMedian / time.Microsecond))
+		}
+	}
+	m.mu.Unlock()
+}
+
+// memberSet is the Pool's live backend list. With a resolver it is
+// refreshed between jobs; without one it is fixed at construction.
+type memberSet struct {
+	resolve    func() []string
+	clientOpts []client.Option
+
+	mu      sync.Mutex
+	members []*member
+}
+
+// newMemberSet builds the initial membership from the resolved URLs.
+func newMemberSet(urls []string, resolve func() []string, clientOpts []client.Option) *memberSet {
+	ms := &memberSet{resolve: resolve, clientOpts: clientOpts}
+	ms.members = make([]*member, len(urls))
+	for i, url := range urls {
+		ms.members[i] = &member{url: url, c: client.New(url, clientOpts...)}
+	}
+	return ms
+}
+
+// snapshot returns the current member list. The slice is fresh but the
+// members are shared, so health marks and EWMAs stay live.
+func (ms *memberSet) snapshot() []*member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]*member, len(ms.members))
+	copy(out, ms.members)
+	return out
+}
+
+// refresh re-resolves the backend set: members whose URL is still
+// resolved are kept (health marks and EWMAs intact), resolved URLs
+// without a member are admitted as fresh joiners, and members whose URL
+// disappeared are dropped from selection — draining, per the package
+// rationale above. A resolver returning an empty list is ignored: an
+// empty fleet is indistinguishable from a resolver outage, and keeping
+// the last known members beats dispatching into nothing.
+func (ms *memberSet) refresh() {
+	if ms.resolve == nil {
+		return
+	}
+	urls := ms.resolve()
+	if len(urls) == 0 {
+		return
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	current := make(map[string]*member, len(ms.members))
+	for _, m := range ms.members {
+		current[m.url] = m
+	}
+	next := make([]*member, 0, len(urls))
+	seen := make(map[string]bool, len(urls))
+	for _, url := range urls {
+		if seen[url] {
+			continue
+		}
+		seen[url] = true
+		if m, ok := current[url]; ok {
+			next = append(next, m)
+			continue
+		}
+		next = append(next, &member{url: url, c: client.New(url, ms.clientOpts...)})
+		mMembersJoined.Inc()
+	}
+	for url := range current {
+		if !seen[url] {
+			mMembersLeft.Inc()
+		}
+	}
+	ms.members = next
+}
+
+// fleetMedianEWMA returns the median per-trial EWMA across members with
+// an observation, or 0 when nothing has been observed yet — the reset
+// value a recovered backend re-enters the fleet with.
+func fleetMedianEWMA(members []*member) time.Duration {
+	var known []time.Duration
+	for _, m := range members {
+		if e := m.trialEWMA(); e > 0 {
+			known = append(known, e)
+		}
+	}
+	if len(known) == 0 {
+		return 0
+	}
+	for i := 1; i < len(known); i++ { // insertion sort: the fleet is small
+		for j := i; j > 0 && known[j] < known[j-1]; j-- {
+			known[j], known[j-1] = known[j-1], known[j]
+		}
+	}
+	return known[len(known)/2]
+}

@@ -1,0 +1,109 @@
+package dispatch
+
+// The selector layer: which backend gets the next sub-job. Selection
+// is capacity-weighted smooth round-robin — each member accumulates
+// credit proportional to its observed speed (the inverse of its
+// per-trial latency EWMA) and the highest balance wins, paying the
+// total back on selection. With no observations the weights are equal
+// and the schedule degenerates to exactly the old rotation; as EWMAs
+// arrive, faster backends earn proportionally more shards. The scheme
+// is deterministic (no RNG) and interleaves smoothly: a 3:1 weight
+// split yields A A B A, never A A A B.
+
+import "sync"
+
+// selector picks the member for the next sub-job attempt. tried marks
+// members already attempted for THIS sub-job. Implementations are safe
+// for concurrent use and must return non-nil when members is non-empty.
+type selector interface {
+	pick(members []*member, tried map[*member]bool) *member
+}
+
+// weightRatioCap bounds the weight spread between the fastest and
+// slowest member. Without it one warm backend with a cache-hit EWMA of
+// microseconds would starve a cold sibling forever; with it the slow
+// member still gets every (cap+1)-th shard, which is also what keeps
+// its EWMA fresh enough to notice a recovery.
+const weightRatioCap = 8.0
+
+// weightedSelector is the default selector.
+type weightedSelector struct {
+	mu sync.Mutex // serializes credit updates across concurrent picks
+}
+
+// pick selects by preference tier first — up and untried beats untried
+// (a fresh chance beats a backend that failed THIS sub-job) beats up —
+// then runs smooth weighted round-robin within the winning tier. A
+// fully down, fully tried pool still yields a member: the caller's
+// attempt budget is the real bound.
+func (s *weightedSelector) pick(members []*member, tried map[*member]bool) *member {
+	if len(members) == 0 {
+		return nil
+	}
+	var upFresh, fresh, up []*member
+	for _, m := range members {
+		switch mUp, mFresh := m.up(), !tried[m]; {
+		case mUp && mFresh:
+			upFresh = append(upFresh, m)
+		case mFresh:
+			fresh = append(fresh, m)
+		case mUp:
+			up = append(up, m)
+		}
+	}
+	for _, tier := range [][]*member{upFresh, fresh, up} {
+		if len(tier) > 0 {
+			return s.roundRobin(tier)
+		}
+	}
+	return members[0]
+}
+
+// roundRobin runs one smooth-weighted-round-robin step over the
+// candidates: add each member's weight to its credit, pick the largest
+// balance, charge the winner the round's total.
+func (s *weightedSelector) roundRobin(cands []*member) *member {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	weights := memberWeights(cands)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		total float64
+		best  *member
+	)
+	for i, m := range cands {
+		m.credit += weights[i]
+		total += weights[i]
+		if best == nil || m.credit > best.credit {
+			best = m
+		}
+	}
+	best.credit -= total
+	return best
+}
+
+// memberWeights maps observed speed to selection weight: weight 1 for
+// a member at the fleet-median per-trial latency, proportionally more
+// for faster members, capped at weightRatioCap in either direction.
+// Members without an observation weigh exactly 1 — a joiner is
+// presumed median until measured.
+func memberWeights(cands []*member) []float64 {
+	median := fleetMedianEWMA(cands)
+	weights := make([]float64, len(cands))
+	for i, m := range cands {
+		w := 1.0
+		if e := m.trialEWMA(); e > 0 && median > 0 {
+			w = float64(median) / float64(e)
+			if w > weightRatioCap {
+				w = weightRatioCap
+			}
+			if w < 1/weightRatioCap {
+				w = 1 / weightRatioCap
+			}
+		}
+		weights[i] = w
+	}
+	return weights
+}

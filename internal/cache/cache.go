@@ -117,8 +117,9 @@ type TierStats struct {
 	// Stats count one hit.
 	Hits, Misses uint64
 	// Evictions counts entries removed to stay within the tier's
-	// bound (memory: LRU eviction; disk: corrupt entries quarantined
-	// at read).
+	// bound (memory: LRU eviction; disk: oldest-first garbage
+	// collection under the WithDiskMaxBytes budget, plus corrupt
+	// entries quarantined at read).
 	Evictions uint64
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Disk entry file layout: a fixed header followed by the payload.
@@ -40,16 +41,40 @@ const quarantineSuffix = ".quarantine"
 // name — so a daemon restarted with the same directory serves its
 // previous results as cache hits.
 type Disk struct {
-	dir string
+	dir      string
+	maxBytes int64 // payload-byte budget; 0 = unbounded
 
 	mu          sync.Mutex
-	sizes       map[string]int64 // resident payload bytes by key
+	entries     map[string]diskEntry // resident entries by key
 	bytes       int64
 	quarantined uint64
+	gcEvicted   uint64
 	putErrs     uint64
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+}
+
+// diskEntry is one indexed result: its payload size and its age rank
+// for garbage collection — the file's mtime at recovery, the write
+// time for entries stored by this process. Oldest order goes first
+// when the tier is over budget.
+type diskEntry struct {
+	size  int64
+	order int64 // UnixNano
+}
+
+// DiskOption configures a Disk tier.
+type DiskOption func(*Disk)
+
+// WithDiskMaxBytes bounds the tier's resident payload bytes (<= 0
+// keeps the default: unbounded). Over budget the oldest entries — by
+// file mtime at recovery, by write time afterwards — are removed, at
+// open and after every Put, and counted as evictions in Tiers. The
+// bound is capacity, not correctness: an evicted result just
+// recomputes (or peer-fills) on its next request.
+func WithDiskMaxBytes(n int64) DiskOption {
+	return func(d *Disk) { d.maxBytes = n }
 }
 
 // NewDisk opens (creating if needed) a disk tier rooted at dir and
@@ -57,8 +82,10 @@ type Disk struct {
 // entries (content verification happens lazily, at Get), temp files
 // left by an interrupted Put are removed, entries too short to hold
 // even a header are quarantined immediately, and anything else in the
-// directory is ignored.
-func NewDisk(dir string) (*Disk, error) {
+// directory is ignored. With WithDiskMaxBytes, recovery ends by
+// garbage-collecting the oldest entries until the index fits the
+// budget.
+func NewDisk(dir string, opts ...DiskOption) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -66,7 +93,10 @@ func NewDisk(dir string) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Disk{dir: dir, sizes: make(map[string]int64)}
+	d := &Disk{dir: dir, entries: make(map[string]diskEntry)}
+	for _, opt := range opts {
+		opt(d)
+	}
 	for _, e := range entries {
 		if !e.Type().IsRegular() {
 			continue
@@ -87,9 +117,10 @@ func NewDisk(dir string) (*Disk, error) {
 			d.quarantineLocked(name) // truncated below the header: unreadable for certain
 			continue
 		}
-		d.sizes[name] = info.Size() - diskHeaderLen
+		d.entries[name] = diskEntry{size: info.Size() - diskHeaderLen, order: info.ModTime().UnixNano()}
 		d.bytes += info.Size() - diskHeaderLen
 	}
+	d.gcLocked() // a shrunk budget takes effect at open, before any traffic
 	return d, nil
 }
 
@@ -106,7 +137,7 @@ func (d *Disk) Get(key string) (val []byte, ok bool) {
 		return nil, false
 	}
 	d.mu.Lock()
-	_, ok = d.sizes[key]
+	_, ok = d.entries[key]
 	d.mu.Unlock()
 	if !ok {
 		d.misses.Add(1)
@@ -161,7 +192,7 @@ func (d *Disk) Put(key string, val []byte) {
 		return
 	}
 	d.mu.Lock()
-	_, exists := d.sizes[key]
+	_, exists := d.entries[key]
 	d.mu.Unlock()
 	if exists {
 		return
@@ -196,10 +227,11 @@ func (d *Disk) Put(key string, val []byte) {
 		return
 	}
 	d.mu.Lock()
-	if _, dup := d.sizes[key]; !dup {
-		d.sizes[key] = int64(len(val))
+	if _, dup := d.entries[key]; !dup {
+		d.entries[key] = diskEntry{size: int64(len(val)), order: time.Now().UnixNano()}
 		d.bytes += int64(len(val))
 	}
+	d.gcLocked()
 	d.mu.Unlock()
 }
 
@@ -209,7 +241,7 @@ func (d *Disk) Has(key string) bool {
 		return false
 	}
 	d.mu.Lock()
-	_, ok := d.sizes[key]
+	_, ok := d.entries[key]
 	d.mu.Unlock()
 	return ok
 }
@@ -218,7 +250,7 @@ func (d *Disk) Has(key string) bool {
 func (d *Disk) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.sizes)
+	return len(d.entries)
 }
 
 // Stats returns the cumulative hit and miss counts of Get.
@@ -227,10 +259,11 @@ func (d *Disk) Stats() (hits, misses uint64) {
 }
 
 // Tiers returns the tier's statistics; Evictions counts quarantined
-// entries.
+// entries plus entries garbage-collected by the WithDiskMaxBytes
+// budget.
 func (d *Disk) Tiers() []TierStats {
 	d.mu.Lock()
-	entries, bytes, quarantined := len(d.sizes), d.bytes, d.quarantined
+	entries, bytes, evicted := len(d.entries), d.bytes, d.quarantined+d.gcEvicted
 	d.mu.Unlock()
 	return []TierStats{{
 		Tier:      "disk",
@@ -238,8 +271,33 @@ func (d *Disk) Tiers() []TierStats {
 		Bytes:     bytes,
 		Hits:      d.hits.Load(),
 		Misses:    d.misses.Load(),
-		Evictions: quarantined,
+		Evictions: evicted,
 	}}
+}
+
+// gcLocked removes oldest-first entries until the resident payload
+// bytes fit the budget; d.mu must be held (or the Disk not yet
+// shared). The scan is linear per eviction — the tier holds at most a
+// few thousand entries and GC runs only when a Put tips it over
+// budget, so an ordered index would be bookkeeping without a win.
+func (d *Disk) gcLocked() {
+	if d.maxBytes <= 0 {
+		return
+	}
+	for d.bytes > d.maxBytes && len(d.entries) > 0 {
+		var (
+			oldest      string
+			oldestOrder int64
+		)
+		for key, e := range d.entries {
+			if oldest == "" || e.order < oldestOrder {
+				oldest, oldestOrder = key, e.order
+			}
+		}
+		os.Remove(filepath.Join(d.dir, oldest))
+		d.dropLocked(oldest)
+		d.gcEvicted++
+	}
 }
 
 // quarantineLocked renames a corrupt entry out of the key namespace
@@ -255,9 +313,9 @@ func (d *Disk) quarantineLocked(key string) {
 
 // dropLocked removes key from the index; d.mu must be held.
 func (d *Disk) dropLocked(key string) {
-	if size, ok := d.sizes[key]; ok {
-		d.bytes -= size
-		delete(d.sizes, key)
+	if e, ok := d.entries[key]; ok {
+		d.bytes -= e.size
+		delete(d.entries, key)
 	}
 }
 

@@ -1,0 +1,213 @@
+package cache
+
+// Tests of the disk tier's byte-budget garbage collection and the
+// tiered store's singleflight disk-read coalescing.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDiskGCEvictsOldestAfterPut(t *testing.T) {
+	// 20-byte payloads under a 50-byte budget: the third Put must evict
+	// the first (oldest) entry, nothing else.
+	val := func(i int) []byte { return []byte(fmt.Sprintf("%020d", i)) }
+	d, err := NewDisk(t.TempDir(), WithDiskMaxBytes(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key64(1), val(1))
+	time.Sleep(2 * time.Millisecond) // order is wall-clock: keep the Puts distinguishable
+	d.Put(key64(2), val(2))
+	time.Sleep(2 * time.Millisecond)
+	d.Put(key64(3), val(3))
+
+	if d.Has(key64(1)) {
+		t.Fatal("oldest entry survived a Put that tipped the tier over budget")
+	}
+	for _, i := range []int{2, 3} {
+		if v, ok := d.Get(key64(i)); !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("entry %d lost or corrupted by GC: %q, %v", i, v, ok)
+		}
+	}
+	st := d.Tiers()[0]
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 40 || st.Entries != 2 {
+		t.Fatalf("post-GC stats: %+v", st)
+	}
+	// The evicted entry's file is gone, not just unindexed.
+	if _, err := os.Stat(filepath.Join(d.Dir(), key64(1))); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry's file still on disk (stat err: %v)", err)
+	}
+}
+
+func TestDiskGCAtRecoveryUsesModTime(t *testing.T) {
+	dir := t.TempDir()
+	val := func(i int) []byte { return []byte(fmt.Sprintf("%020d", i)) }
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		d.Put(key64(i), val(i))
+	}
+	// Backdate entry 2: at reopen it, not entry 1, is the oldest.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, key64(2)), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDisk(dir, WithDiskMaxBytes(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Has(key64(2)) {
+		t.Fatal("backdated entry survived recovery GC")
+	}
+	if !d2.Has(key64(1)) || !d2.Has(key64(3)) {
+		t.Fatal("recovery GC removed the wrong entries")
+	}
+	if st := d2.Tiers()[0]; st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("recovery GC stats: %+v", st)
+	}
+}
+
+func TestDiskUnboundedNeverGCs(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Put(key64(i), bytes.Repeat([]byte("x"), 100))
+	}
+	if st := d.Tiers()[0]; st.Entries != 8 || st.Evictions != 0 {
+		t.Fatalf("unbounded tier evicted: %+v", st)
+	}
+}
+
+func TestTieredSingleflightCoalescesDiskReads(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := key64(7)
+	want := []byte(`{"rows":[1,2,3]}`)
+	disk.Put(key, want)
+
+	// A memory tier too small for the value: every Get misses memory and
+	// reaches the singleflight gate.
+	tiered := NewTiered(NewBounded(1), disk)
+
+	// Hold a flight for the key open (the test plays the leader), start
+	// concurrent Gets — they must join the flight as followers — then
+	// settle it. Any reader that instead went to disk on its own still
+	// returns the right bytes (the entry is stored), but it shows up in
+	// the disk hit counter.
+	call := &diskRead{done: make(chan struct{})}
+	tiered.sfMu.Lock()
+	tiered.sf = map[string]*diskRead{key: call}
+	tiered.sfMu.Unlock()
+
+	diskHitsBefore, _ := disk.Stats()
+	const readers = 16
+	var (
+		wg      sync.WaitGroup
+		results [readers][]byte
+	)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, ok := tiered.Get(key)
+			if !ok {
+				t.Errorf("reader %d missed a stored key", i)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the readers pile onto the flight
+	call.val, call.ok = want, true
+	tiered.sfMu.Lock()
+	delete(tiered.sf, key)
+	tiered.sfMu.Unlock()
+	close(call.done)
+	wg.Wait()
+
+	for i := range results {
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("reader %d got %q, want %q", i, results[i], want)
+		}
+	}
+	// Without coalescing this would be one disk read per reader.
+	diskHitsAfter, _ := disk.Stats()
+	if delta := diskHitsAfter - diskHitsBefore; delta >= readers {
+		t.Fatalf("disk served %d reads for %d concurrent Gets — singleflight is not coalescing", delta, readers)
+	}
+
+	// Followers must hold private copies: scribbling one result cannot
+	// corrupt another's bytes (the ResultStore contract).
+	results[0][0] = '!'
+	if !bytes.Equal(results[1], want) {
+		t.Fatal("two readers shared one backing slice")
+	}
+}
+
+func TestTieredSingleflightLeaderReadsOnce(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := key64(8)
+	want := []byte(`{"mean":4}`)
+	disk.Put(key, want)
+	tiered := NewTiered(NewStore(), disk)
+
+	if v, ok := tiered.Get(key); !ok || !bytes.Equal(v, want) {
+		t.Fatalf("leader read: %q, %v", v, ok)
+	}
+	// The flight table must be empty after the flight settles, and the
+	// promoted entry now answers from memory.
+	tiered.sfMu.Lock()
+	pending := len(tiered.sf)
+	tiered.sfMu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d flights left in the table after a completed Get", pending)
+	}
+	hitsBefore, _ := disk.Stats()
+	if v, ok := tiered.Get(key); !ok || !bytes.Equal(v, want) {
+		t.Fatalf("promoted read: %q, %v", v, ok)
+	}
+	if hitsAfter, _ := disk.Stats(); hitsAfter != hitsBefore {
+		t.Fatal("second Get reached disk despite memory promotion")
+	}
+}
+
+func TestTieredSingleflightMissesAreShared(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(NewBounded(1), disk)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := tiered.Get(key64(9)); ok {
+				t.Error("Get invented a value for an absent key")
+			}
+		}()
+	}
+	wg.Wait()
+	if hits, misses := tiered.Stats(); hits != 0 || misses != 8 {
+		t.Fatalf("stats after 8 concurrent misses: hits %d misses %d, want 0/8", hits, misses)
+	}
+}

@@ -1,22 +1,46 @@
 package cache
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Tiered stacks the memory tier in front of an optional disk tier:
 // Get consults memory first and falls back to disk, promoting a disk
 // hit back into memory so the next reader pays no I/O; Put writes
 // through to both. It is safe for concurrent use.
 //
+// Concurrent Gets that miss memory for the same key are coalesced onto
+// one disk read (singleflight): the first reader hits the file, the
+// rest wait for its answer and share the promoted bytes. The stampede
+// this prevents is the common one — many clients asking for the same
+// content-addressed result the moment it lands on disk.
+//
 // Store-wide Stats count one hit or miss per Get, whichever tier
 // answered; each tier's own counters (Tiers) additionally record how
 // the lookup travelled, so a memory miss answered by disk shows up as
-// one store hit, one memory-tier miss and one disk-tier hit.
+// one store hit, one memory-tier miss and one disk-tier hit. Coalesced
+// followers count store-wide but touch no disk-tier counter — the disk
+// answered once.
 type Tiered struct {
 	mem  *Store
 	disk *Disk
 
+	sfMu sync.Mutex
+	sf   map[string]*diskRead
+
 	hits   atomic.Uint64
 	misses atomic.Uint64
+}
+
+// diskRead is one in-flight disk lookup that concurrent Gets of the
+// same key share. val is written once, before done closes, and is
+// owned by the call: every reader — leader included — copies it,
+// because ResultStore.Get promises each caller a private slice.
+type diskRead struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
 }
 
 // NewTiered combines a memory tier and a disk tier (nil disk selects
@@ -29,21 +53,57 @@ func NewTiered(mem *Store, disk *Disk) *Tiered {
 }
 
 // Get returns the result stored under key, consulting memory then
-// disk. A disk hit is promoted into the memory tier.
+// disk. A disk hit is promoted into the memory tier. Concurrent
+// memory misses for one key share a single disk read.
 func (t *Tiered) Get(key string) ([]byte, bool) {
 	if val, ok := t.mem.Get(key); ok {
 		t.hits.Add(1)
 		return val, true
 	}
-	if t.disk != nil {
-		if val, ok := t.disk.Get(key); ok {
-			t.mem.Put(key, val)
-			t.hits.Add(1)
-			return val, true
-		}
+	if t.disk == nil {
+		t.misses.Add(1)
+		return nil, false
 	}
-	t.misses.Add(1)
-	return nil, false
+
+	t.sfMu.Lock()
+	if t.sf == nil {
+		t.sf = make(map[string]*diskRead)
+	}
+	if call, ok := t.sf[key]; ok {
+		// Follower: someone is already on disk for this key. Wait for
+		// their answer and copy it — the leader's caller may scribble on
+		// the slice it was returned, so the shared bytes are read-only.
+		t.sfMu.Unlock()
+		<-call.done
+		if !call.ok {
+			t.misses.Add(1)
+			return nil, false
+		}
+		t.hits.Add(1)
+		return append([]byte(nil), call.val...), true
+	}
+	call := &diskRead{done: make(chan struct{})}
+	t.sf[key] = call
+	t.sfMu.Unlock()
+
+	call.val, call.ok = t.disk.Get(key)
+	if call.ok {
+		t.mem.Put(key, call.val)
+	}
+	// Drop the entry before signalling: a Get arriving after this point
+	// starts fresh (and will land in the just-promoted memory tier)
+	// rather than joining a finished flight.
+	t.sfMu.Lock()
+	delete(t.sf, key)
+	t.sfMu.Unlock()
+	close(call.done)
+
+	if !call.ok {
+		t.misses.Add(1)
+		return nil, false
+	}
+	t.hits.Add(1)
+	return append([]byte(nil), call.val...), true
 }
 
 // Put writes val through to every tier.

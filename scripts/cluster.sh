@@ -19,6 +19,9 @@
 #      without op errors and emits a schema-valid report
 #   5. a daemon restarted on the same -cache-dir serves the previous
 #      run's results from its disk tier — cache hits, no recomputation
+#   6. a fleet with one FAULTROUTE_TASK_DELAY-throttled straggler still
+#      returns byte-identical output, and the dispatcher reports hedges
+#      fired against it
 #
 # Daemons are torn down on exit, pass or fail.
 set -eu
@@ -205,5 +208,40 @@ if ! grep 'faultroute_cache_tier_hits_total{tier="disk"}' "$workdir/warm-metrics
     exit 1
 fi
 echo "cluster: warm restart served every result from the disk tier"
+
+echo "cluster: smoke 6 — hedged dispatch around a throttled straggler"
+# Boot one more daemon whose every fresh task sleeps 300ms
+# (FAULTROUTE_TASK_DELAY) and add it to the fleet. With a tight hedge
+# floor the dispatcher must speculate shards stuck behind it onto the
+# fast backends, report those hedges on stderr, and still produce the
+# exact bytes of the in-process run.
+slow_port=$((BASE_PORT + M + 1))
+slow_url="http://127.0.0.1:$slow_port"
+FAULTROUTE_TASK_DELAY=300ms "$workdir/faultrouted" -addr "127.0.0.1:$slow_port" -executors 2 \
+    >"$workdir/daemon-slow.log" 2>&1 &
+pids="$pids $!"
+tries=0
+until fetch "$slow_url/v1/healthz" | grep -q '"ok":true'; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 100 ]; then
+        echo "cluster: $slow_url never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$workdir/faultroute" -graph hypercube -n 8 -p 0.6 -trials 60 -seed 7 >"$workdir/hedge-local.txt"
+"$workdir/faultroute" -graph hypercube -n 8 -p 0.6 -trials 60 -seed 7 \
+    -backends "$backends,$slow_url" -hedge-after 100ms \
+    >"$workdir/hedge-dist.txt" 2>"$workdir/hedge-stats.txt"
+if ! cmp -s "$workdir/hedge-local.txt" "$workdir/hedge-dist.txt"; then
+    echo "cluster: FAIL — hedged output differs from local" >&2
+    exit 1
+fi
+hedges=$(sed -n 's/.* \([0-9][0-9]*\) hedges.*/\1/p' "$workdir/hedge-stats.txt")
+if [ -z "$hedges" ] || [ "$hedges" -lt 1 ]; then
+    echo "cluster: FAIL — no hedges fired against a 300ms straggler (stats: $(cat "$workdir/hedge-stats.txt"))" >&2
+    exit 1
+fi
+echo "cluster: straggler absorbed — $hedges hedges, bytes identical"
 
 echo "cluster: OK — $M-backend dispatch is byte-identical to in-process runs"

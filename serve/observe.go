@@ -97,7 +97,7 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	tierMisses := reg.CounterFuncVec("faultroute_cache_tier_misses_total",
 		"Lookups each tier could not answer.", "tier")
 	tierEvictions := reg.CounterFuncVec("faultroute_cache_tier_evictions_total",
-		"Entries removed per tier: LRU eviction (memory), quarantined corrupt files (disk).", "tier")
+		"Entries removed per tier: LRU eviction (memory), byte-budget GC and quarantined corrupt files (disk).", "tier")
 	for _, t := range s.store.Tiers() {
 		tier := t.Tier
 		tierEntries.With(tierStat(s.store, tier, func(t cache.TierStats) float64 { return float64(t.Entries) }), tier)

@@ -63,6 +63,14 @@ type Options struct {
 	// transitions are pushed immediately regardless. It never affects
 	// result bytes — only how often subscribers hear about progress.
 	EventInterval time.Duration
+	// TaskDelay, when positive, sleeps every freshly executed task for
+	// the given duration before it starts computing (canceled jobs stop
+	// sleeping immediately; cache and memo hits never sleep). It exists
+	// to emulate a slow or overloaded backend in benchmarks and cluster
+	// smoke tests — by the determinism contract a delay can only change
+	// timing, never result bytes. cmd/faultrouted wires it to the
+	// FAULTROUTE_TASK_DELAY environment variable.
+	TaskDelay time.Duration
 }
 
 // retryAfterSeconds is the Retry-After hint on queue-full 503s. One
@@ -78,6 +86,7 @@ type Service struct {
 	workers       int
 	logger        *slog.Logger
 	eventInterval time.Duration
+	taskDelay     time.Duration
 	metrics       *serviceMetrics
 	memo          *submitMemo
 }
@@ -103,6 +112,7 @@ func New(opts Options) *Service {
 		workers:       opts.Workers,
 		logger:        opts.Logger,
 		eventInterval: opts.EventInterval,
+		taskDelay:     opts.TaskDelay,
 		memo:          newSubmitMemo(),
 	}
 	s.metrics = newServiceMetrics(s)
@@ -214,6 +224,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	kind, task := ent.kind, ent.task
 	instrumented := func(ctx context.Context, progress func(int)) ([]byte, error) {
 		start := time.Now()
+		if s.taskDelay > 0 {
+			// Emulated slowness (Options.TaskDelay). The select keeps
+			// canceled jobs honest: a hedge loser or DELETEd job stops
+			// sleeping the moment its context dies.
+			select {
+			case <-ctx.Done():
+				s.metrics.observeJob(kind, start, ctx.Err())
+				return nil, ctx.Err()
+			case <-time.After(s.taskDelay):
+			}
+		}
 		data, err := task(ctx, progress)
 		s.metrics.observeJob(kind, start, err)
 		return data, err
