@@ -14,6 +14,7 @@ import (
 	"faultroute/internal/percolation"
 	"faultroute/internal/route"
 	"faultroute/internal/runner"
+	"faultroute/internal/sim"
 )
 
 // This file turns requests into executable plans: validation,
@@ -130,109 +131,176 @@ func NewGraph(gs GraphSpec) (graph.Graph, error) {
 	return g, err
 }
 
-// buildGraph validates a GraphSpec, constructs the topology, and
-// returns the normalized spec alongside the family's default router and
-// destination.
-func buildGraph(gs GraphSpec) (g graph.Graph, norm GraphSpec, defaultRouter string, defaultDst graph.Vertex, err error) {
-	norm = GraphSpec{Family: gs.Family}
-	needN := func() error {
+// family is one registry entry: the build function that validates a
+// GraphSpec, constructs the topology, and returns the normalized spec
+// alongside the family's default router and destination — plus the
+// sample specs the cross-family invariant tests construct. Every family
+// MUST carry at least one sample: the graph invariant suite enumerates
+// this registry, so a family added here without samples fails the build
+// instead of silently escaping the property tests.
+type family struct {
+	build   func(gs GraphSpec) (g graph.Graph, norm GraphSpec, defaultRouter string, defaultDst graph.Vertex, err error)
+	samples []GraphSpec
+}
+
+// nFamily builds the registry entry of a family parameterized by N
+// alone.
+func nFamily(construct func(n int) (graph.Graph, error), router string, dst func(g graph.Graph) graph.Vertex) func(GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
+	return func(gs GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
 		if gs.N <= 0 {
-			return fmt.Errorf("graph family %q needs a positive n", gs.Family)
+			return nil, GraphSpec{}, "", 0, fmt.Errorf("graph family %q needs a positive n", gs.Family)
 		}
-		norm.N = gs.N
-		return nil
+		g, err := construct(gs.N)
+		if err != nil {
+			return nil, GraphSpec{}, "", 0, err
+		}
+		return g, GraphSpec{Family: gs.Family, N: gs.N}, router, dst(g), nil
 	}
-	switch gs.Family {
-	case "hypercube":
-		if err = needN(); err != nil {
-			return
-		}
-		var h *graph.Hypercube
-		if h, err = graph.NewHypercube(gs.N); err != nil {
-			return
-		}
-		return h, norm, "path-follow", h.Antipode(0), nil
-	case "mesh", "torus":
+}
+
+// lastVertex is the default destination of most families: the highest
+// vertex index.
+func lastVertex(g graph.Graph) graph.Vertex { return graph.Vertex(g.Order() - 1) }
+
+// families is the wire topology registry — the ONE mapping from wire
+// family names to graph implementations, defaults and test samples.
+var families = map[string]family{
+	"hypercube": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewHypercube(n) },
+			"path-follow", func(g graph.Graph) graph.Vertex { return g.(*graph.Hypercube).Antipode(0) }),
+		samples: []GraphSpec{{N: 1}, {N: 5}, {N: 8}},
+	},
+	"mesh": {
+		build:   gridFamily(false),
+		samples: []GraphSpec{{D: 1, Side: 7}, {D: 2, Side: 5}, {D: 3, Side: 4}},
+	},
+	"torus": {
+		build:   gridFamily(true),
+		samples: []GraphSpec{{D: 1, Side: 5}, {D: 2, Side: 5}, {D: 3, Side: 4}},
+	},
+	"doubletree": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewDoubleTree(n) },
+			"double-tree-oracle", func(g graph.Graph) graph.Vertex { return g.(*graph.DoubleTree).RootB() }),
+		samples: []GraphSpec{{N: 1}, {N: 3}, {N: 5}},
+	},
+	"complete": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewComplete(n) },
+			"gnp-local", lastVertex),
+		samples: []GraphSpec{{N: 2}, {N: 9}},
+	},
+	"debruijn": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewDeBruijn(n) },
+			"bfs-local", lastVertex),
+		samples: []GraphSpec{{N: 3}, {N: 6}},
+	},
+	"shuffleexchange": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewShuffleExchange(n) },
+			"bfs-local", lastVertex),
+		samples: []GraphSpec{{N: 3}, {N: 6}},
+	},
+	"butterfly": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewButterfly(n) },
+			"bfs-local", lastVertex),
+		samples: []GraphSpec{{N: 1}, {N: 4}},
+	},
+	"cyclematching": {
+		build: func(gs GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
+			if gs.N <= 0 {
+				return nil, GraphSpec{}, "", 0, fmt.Errorf("graph family %q needs a positive n", gs.Family)
+			}
+			g, err := graph.NewCycleMatching(gs.N, gs.Seed)
+			if err != nil {
+				return nil, GraphSpec{}, "", 0, err
+			}
+			return g, GraphSpec{Family: gs.Family, N: gs.N, Seed: gs.Seed}, "bfs-local", lastVertex(g), nil
+		},
+		samples: []GraphSpec{{N: 16, Seed: 42}, {N: 100, Seed: 7}},
+	},
+	"ring": {
+		build: nFamily(func(n int) (graph.Graph, error) { return graph.NewRing(n) },
+			"path-follow", func(g graph.Graph) graph.Vertex { return graph.Vertex(g.Order() / 2) }),
+		samples: []GraphSpec{{N: 3}, {N: 10}},
+	},
+	"kleinberg": {
+		// Kleinberg's 2D small-world lattice: Side is the grid side, D is
+		// reused as the clustering exponent r (0 = uniform long-range
+		// contacts; r = 2 is the navigable point), Seed draws the
+		// contacts. Greedy lattice-distance routing is the family's whole
+		// reason to exist, so it is the default router.
+		build: func(gs GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
+			if gs.Side <= 0 {
+				return nil, GraphSpec{}, "", 0, fmt.Errorf("graph family %q needs a positive side", gs.Family)
+			}
+			g, err := graph.NewKleinberg(gs.Side, gs.D, gs.Seed)
+			if err != nil {
+				return nil, GraphSpec{}, "", 0, err
+			}
+			return g, GraphSpec{Family: gs.Family, D: gs.D, Side: gs.Side, Seed: gs.Seed}, "greedy", lastVertex(g), nil
+		},
+		samples: []GraphSpec{{D: 2, Side: 8, Seed: 42}, {Side: 6, Seed: 7}, {D: 4, Side: 10, Seed: 7}},
+	},
+}
+
+// gridFamily builds the mesh/torus registry entry (d defaults to 2).
+func gridFamily(wrap bool) func(GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
+	return func(gs GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
 		d := gs.D
 		if d == 0 {
 			d = 2
 		}
 		if gs.Side <= 0 {
-			err = fmt.Errorf("graph family %q needs a positive side", gs.Family)
-			return
+			return nil, GraphSpec{}, "", 0, fmt.Errorf("graph family %q needs a positive side", gs.Family)
 		}
-		norm.D, norm.Side = d, gs.Side
-		if gs.Family == "mesh" {
-			g, err = graph.NewMesh(d, gs.Side)
-		} else {
+		var (
+			g   graph.Graph
+			err error
+		)
+		if wrap {
 			g, err = graph.NewTorus(d, gs.Side)
+		} else {
+			g, err = graph.NewMesh(d, gs.Side)
 		}
 		if err != nil {
-			return
+			return nil, GraphSpec{}, "", 0, err
 		}
-		return g, norm, "path-follow", graph.Vertex(g.Order() - 1), nil
-	case "doubletree":
-		if err = needN(); err != nil {
-			return
-		}
-		var tt *graph.DoubleTree
-		if tt, err = graph.NewDoubleTree(gs.N); err != nil {
-			return
-		}
-		return tt, norm, "double-tree-oracle", tt.RootB(), nil
-	case "complete":
-		if err = needN(); err != nil {
-			return
-		}
-		if g, err = graph.NewComplete(gs.N); err != nil {
-			return
-		}
-		return g, norm, "gnp-local", graph.Vertex(g.Order() - 1), nil
-	case "debruijn":
-		if err = needN(); err != nil {
-			return
-		}
-		if g, err = graph.NewDeBruijn(gs.N); err != nil {
-			return
-		}
-		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
-	case "shuffleexchange":
-		if err = needN(); err != nil {
-			return
-		}
-		if g, err = graph.NewShuffleExchange(gs.N); err != nil {
-			return
-		}
-		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
-	case "butterfly":
-		if err = needN(); err != nil {
-			return
-		}
-		if g, err = graph.NewButterfly(gs.N); err != nil {
-			return
-		}
-		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
-	case "cyclematching":
-		if err = needN(); err != nil {
-			return
-		}
-		norm.Seed = gs.Seed
-		if g, err = graph.NewCycleMatching(gs.N, gs.Seed); err != nil {
-			return
-		}
-		return g, norm, "bfs-local", graph.Vertex(g.Order() - 1), nil
-	case "ring":
-		if err = needN(); err != nil {
-			return
-		}
-		if g, err = graph.NewRing(gs.N); err != nil {
-			return
-		}
-		return g, norm, "path-follow", graph.Vertex(g.Order() / 2), nil
-	default:
-		err = fmt.Errorf("unknown graph family %q", gs.Family)
-		return
+		return g, GraphSpec{Family: gs.Family, D: d, Side: gs.Side}, "path-follow", lastVertex(g), nil
 	}
+}
+
+// GraphFamilies returns every wire family name in sorted order. The
+// graph invariant suite iterates this list, so the registry and the
+// property tests can never drift apart.
+func GraphFamilies() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SampleGraphSpecs returns representative GraphSpecs for every family —
+// the instances the cross-family invariant tests construct. Family is
+// filled in from the registry key; every family contributes at least
+// one spec.
+func SampleGraphSpecs() []GraphSpec {
+	var specs []GraphSpec
+	for _, name := range GraphFamilies() {
+		for _, s := range families[name].samples {
+			s.Family = name
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// buildGraph resolves a GraphSpec through the family registry.
+func buildGraph(gs GraphSpec) (graph.Graph, GraphSpec, string, graph.Vertex, error) {
+	fam, ok := families[gs.Family]
+	if !ok {
+		return nil, GraphSpec{}, "", 0, fmt.Errorf("unknown graph family %q", gs.Family)
+	}
+	return fam.build(gs)
 }
 
 // NewRouter is the wire router registry: it constructs the router a
@@ -257,6 +325,74 @@ func NewRouter(name string, seed uint64) (route.Router, error) {
 	default:
 		return nil, fmt.Errorf("unknown router %q", name)
 	}
+}
+
+// Failure-model parameter ceilings: far beyond anything meaningful (a
+// count or radius near a graph's order already kills everything), they
+// exist so a hostile spec cannot make fault sampling arbitrarily
+// expensive.
+const (
+	maxFailRadius = 1 << 20
+	maxFailCount  = 1 << 20
+)
+
+// normalizeFail resolves a FailSpec to its canonical form: the default
+// model filled in, fields a model does not use rejected rather than
+// silently dropped, and — crucially for the cache — nil when the model
+// cannot kill anything (iid with Rate 0, region/nodes with Count 0), so
+// a no-op FailSpec shares the content address of the same job with no
+// FailSpec at all.
+func normalizeFail(fs *FailSpec) (*FailSpec, error) {
+	if fs == nil {
+		return nil, nil
+	}
+	f := *fs
+	if f.Model == "" {
+		f.Model = sim.FailIID
+	}
+	switch f.Model {
+	case sim.FailIID:
+		if f.Rate < 0 || f.Rate > 1 {
+			return nil, fmt.Errorf("fail rate %v outside [0, 1]", f.Rate)
+		}
+		if f.Radius != 0 || f.Count != 0 {
+			return nil, fmt.Errorf("fail model iid uses rate only (got radius %d, count %d)", f.Radius, f.Count)
+		}
+	case sim.FailRegion:
+		if f.Rate != 0 {
+			return nil, fmt.Errorf("fail model region uses radius and count, not rate")
+		}
+		if f.Radius < 0 || f.Radius > maxFailRadius {
+			return nil, fmt.Errorf("fail radius %d outside [0, %d]", f.Radius, maxFailRadius)
+		}
+		if f.Count < 0 || f.Count > maxFailCount {
+			return nil, fmt.Errorf("fail count %d outside [0, %d]", f.Count, maxFailCount)
+		}
+	case sim.FailNodes:
+		if f.Rate != 0 || f.Radius != 0 {
+			return nil, fmt.Errorf("fail model nodes uses count only (got rate %v, radius %d)", f.Rate, f.Radius)
+		}
+		if f.Count < 0 || f.Count > maxFailCount {
+			return nil, fmt.Errorf("fail count %d outside [0, %d]", f.Count, maxFailCount)
+		}
+	default:
+		return nil, fmt.Errorf("unknown fail model %q (want %s, %s or %s)",
+			f.Model, sim.FailIID, sim.FailRegion, sim.FailNodes)
+	}
+	fault := faultOf(&f)
+	if !fault.Enabled() {
+		return nil, nil
+	}
+	return &f, nil
+}
+
+// faultOf converts a normalized FailSpec into the engine's model value
+// (the zero Fault when fs is nil).
+func faultOf(fs *FailSpec) sim.Fault {
+	if fs == nil {
+		return sim.Fault{}
+	}
+	return sim.Fault{Model: fs.Model, Rate: fs.Rate, Radius: fs.Radius, Count: fs.Count, Seed: fs.Seed}
 }
 
 // normalizeEstimate validates an estimate submission and returns the
@@ -302,7 +438,12 @@ func normalizeEstimate(es EstimateSpec, workers int) (EstimateSpec, int64, Task,
 	if uint64(src) >= g.Order() || uint64(dst) >= g.Order() {
 		return zero, 0, nil, fmt.Errorf("endpoints (%d, %d) out of range [0, %d)", src, dst, g.Order())
 	}
-	spec := core.Spec{Graph: g, P: norm.P, Router: r, Budget: norm.Budget}
+	nf, err := normalizeFail(norm.Fail)
+	if err != nil {
+		return zero, 0, nil, err
+	}
+	norm.Fail = nf
+	spec := core.Spec{Graph: g, P: norm.P, Router: r, Budget: norm.Budget, Fault: faultOf(nf)}
 	if norm.Mode == "oracle" {
 		spec.Mode = core.ModeOracle
 	}
@@ -468,10 +609,19 @@ func normalizePercolation(ps PercolationSpec, workers int) (PercolationSpec, int
 	if norm.Seed == 0 {
 		norm.Seed = 1
 	}
+	nf, err := normalizeFail(norm.Fail)
+	if err != nil {
+		return zero, 0, nil, err
+	}
+	norm.Fail = nf
+	// The sample factory threads the failure model into the scans; with
+	// no model it degenerates to plain bond percolation, byte-identical
+	// to the pre-FailSpec scan path.
+	newSample := faultOf(nf).NewSample(g)
 	n := norm
 	task := func(ctx context.Context, progress func(delta int)) ([]byte, error) {
 		if n.Clusters {
-			rows, err := percolation.ClusterScanCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress)
+			rows, err := percolation.ClusterScanSampledCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress, newSample)
 			if err != nil {
 				return nil, err
 			}
@@ -481,7 +631,7 @@ func normalizePercolation(ps PercolationSpec, workers int) (PercolationSpec, int
 			}
 			return encodeResult(ClusterResult{Rows: out})
 		}
-		rows, err := percolation.GiantScanCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress)
+		rows, err := percolation.GiantScanSampledCtx(ctx, g, n.Ps, n.Trials, n.Seed, workers, progress, newSample)
 		if err != nil {
 			return nil, err
 		}

@@ -11,14 +11,47 @@ package api
 // fields cannot split the cache.
 type GraphSpec struct {
 	// Family is one of hypercube, mesh, torus, doubletree, complete,
-	// debruijn, shuffleexchange, butterfly, cyclematching, ring.
+	// debruijn, shuffleexchange, butterfly, cyclematching, ring,
+	// kleinberg. GraphFamilies lists them programmatically.
 	Family string `json:"family"`
 	// N is the size parameter (dimension, depth or order).
 	N int `json:"n,omitempty"`
-	// D and Side shape mesh/torus families (d defaults to 2).
+	// D and Side shape mesh/torus families (d defaults to 2). The
+	// kleinberg family reuses them as clustering exponent (d, default 2)
+	// and grid side.
 	D    int `json:"d,omitempty"`
 	Side int `json:"side,omitempty"`
-	// Seed wires the random matching of the cyclematching family.
+	// Seed wires the random matching of the cyclematching family and the
+	// long-range contacts of the kleinberg family.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// FailSpec selects a correlated failure model layered over the edge
+// percolation: each sample additionally kills the vertices the model
+// draws for that sample's seed (an internal/sim fault mask), so
+// conditioning, routing and component scans all see the surviving graph.
+//
+// Models: "iid" kills each vertex independently with probability Rate;
+// "region" kills every vertex within BFS distance Radius of each of
+// Count uniformly drawn centers — a subcube on the hypercube, a submesh
+// on mesh/torus; "nodes" kills Count uniform vertices (region with
+// Radius 0, generalizing experiment E18).
+//
+// Normalization drops a FailSpec that cannot kill anything (iid with
+// Rate 0, nodes with Count 0), so such a spec shares the content address
+// of the same job with no FailSpec at all; the field is omitempty and
+// sits last in its parent specs so every pre-FailSpec encoding — and
+// therefore every persisted content address — is byte-unchanged.
+type FailSpec struct {
+	// Model is iid (default), region, or nodes.
+	Model string `json:"model,omitempty"`
+	// Rate is the iid per-vertex failure probability in [0, 1].
+	Rate float64 `json:"rate,omitempty"`
+	// Radius is the region BFS ball radius.
+	Radius int `json:"radius,omitempty"`
+	// Count is the number of region outage balls or nodes kills.
+	Count int `json:"count,omitempty"`
+	// Seed feeds the failure stream (decorrelated from the job seed).
 	Seed uint64 `json:"seed,omitempty"`
 }
 
@@ -30,8 +63,9 @@ type GraphSpec struct {
 // the result is then the per-trial rows of that range (a ShardResult)
 // instead of the merged distribution, so a distributed runner can fan
 // disjoint ranges out to many backends and fold them back with
-// MergeShards. The field sits last so that the nil (whole-job) encoding
-// — and therefore every pre-shard content address — is unchanged.
+// MergeShards. Shard and Fail sit after every earlier field so that the
+// nil encodings — and therefore every pre-shard and pre-FailSpec content
+// address — are unchanged.
 type EstimateSpec struct {
 	Graph    GraphSpec  `json:"graph"`
 	P        float64    `json:"p"`
@@ -44,6 +78,7 @@ type EstimateSpec struct {
 	MaxTries int        `json:"maxTries"`
 	Seed     uint64     `json:"seed"`
 	Shard    *ShardSpec `json:"shard,omitempty"`
+	Fail     *FailSpec  `json:"fail,omitempty"`
 }
 
 // ShardSpec selects the trial sub-range [Offset, Offset+Count) of an
@@ -57,7 +92,7 @@ type ShardSpec struct {
 	Count  int `json:"count"`
 }
 
-// ExperimentSpec is one EXPERIMENTS.md experiment run (E1..E18). Its
+// ExperimentSpec is one EXPERIMENTS.md experiment run (E1..E21). Its
 // result is the canonical Table JSON — byte-identical to
 // `routebench -exp <id> -format json` at the same seed and scale.
 type ExperimentSpec struct {
@@ -67,13 +102,16 @@ type ExperimentSpec struct {
 }
 
 // PercolationSpec is a component-structure sweep (the percolate CLI's
-// giant/cluster scans over the wire).
+// giant/cluster scans over the wire). Fail sits last so the nil (pure
+// bond percolation) encoding — and every pre-FailSpec content address —
+// is unchanged.
 type PercolationSpec struct {
 	Graph    GraphSpec `json:"graph"`
 	Ps       []float64 `json:"ps"`
 	Trials   int       `json:"trials"`
 	Seed     uint64    `json:"seed"`
 	Clusters bool      `json:"clusters"`
+	Fail     *FailSpec `json:"fail,omitempty"`
 }
 
 // EstimateResult is the canonical JSON encoding of a core.Complexity.

@@ -265,7 +265,7 @@ func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
 	return raw, nil
 }
 
-// Experiments fetches the machine-readable E1..E18 registry.
+// Experiments fetches the machine-readable E1..E21 registry.
 func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentInfo, error) {
 	var out api.ExperimentList
 	if err := c.call(ctx, http.MethodGet, api.BasePath+"/experiments", nil, &out); err != nil {

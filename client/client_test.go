@@ -199,7 +199,7 @@ func TestClientExperimentsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 18 || infos[0].ID != "E1" {
+	if len(infos) != 21 || infos[0].ID != "E1" {
 		t.Fatalf("registry = %d entries, first %+v", len(infos), infos[0])
 	}
 	h, err := c.Health(context.Background())

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"faultroute"
+	"faultroute/api"
+)
+
+// TestFailFlagsJSONByteIdenticalToLocal pins the CLI's failure-model
+// surface to the Runner API: `-fail-* -format json` must emit exactly
+// the canonical result bytes faultroute.Local returns (and a
+// faultrouted daemon would cache) for the equivalent wire request.
+func TestFailFlagsJSONByteIdenticalToLocal(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		fail *api.FailSpec
+	}{
+		{
+			name: "region",
+			args: []string{"-fail-model", "region", "-fail-radius", "1", "-fail-count", "1", "-fail-seed", "4"},
+			fail: &api.FailSpec{Model: "region", Radius: 1, Count: 1, Seed: 4},
+		},
+		{
+			name: "nodes",
+			args: []string{"-fail-model", "nodes", "-fail-count", "5", "-fail-seed", "4"},
+			fail: &api.FailSpec{Model: "nodes", Count: 5, Seed: 4},
+		},
+		{
+			name: "iid",
+			args: []string{"-fail-model", "iid", "-fail-rate", "0.05"},
+			fail: &api.FailSpec{Model: "iid", Rate: 0.05},
+		},
+	}
+	for _, tc := range cases {
+		args := append([]string{
+			"-graph", "hypercube", "-n", "7", "-p", "0.7",
+			"-trials", "8", "-seed", "3", "-format", "json",
+		}, tc.args...)
+		viaCLI := captureStdout(t, func() error { return run(args) })
+
+		req := api.Request{
+			Kind: api.KindEstimate,
+			Estimate: &api.EstimateSpec{
+				Graph:  api.GraphSpec{Family: "hypercube", N: 7, D: 2, Side: 16, Seed: 3},
+				P:      0.7,
+				Trials: 8,
+				Seed:   3,
+				Fail:   tc.fail,
+			},
+			Workers: 1,
+		}
+		res, err := faultroute.NewLocal().Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(viaCLI, res.Body) {
+			t.Errorf("%s: CLI JSON differs from Local:\ncli:   %s\nlocal: %s",
+				tc.name, viaCLI, res.Body)
+		}
+	}
+}
+
+// TestKleinbergJSONByteIdenticalToLocal does the same for the new graph
+// family: -graph kleinberg reuses -d as the long-range exponent.
+func TestKleinbergJSONByteIdenticalToLocal(t *testing.T) {
+	args := []string{
+		"-graph", "kleinberg", "-side", "8", "-d", "2", "-p", "0.85",
+		"-trials", "6", "-seed", "3", "-format", "json",
+	}
+	viaCLI := captureStdout(t, func() error { return run(args) })
+
+	req := api.Request{
+		Kind: api.KindEstimate,
+		Estimate: &api.EstimateSpec{
+			Graph:  api.GraphSpec{Family: "kleinberg", N: 10, D: 2, Side: 8, Seed: 3},
+			P:      0.85,
+			Trials: 6,
+			Seed:   3,
+		},
+		Workers: 1,
+	}
+	res, err := faultroute.NewLocal().Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaCLI, res.Body) {
+		t.Errorf("kleinberg CLI JSON differs from Local:\ncli:   %s\nlocal: %s", viaCLI, res.Body)
+	}
+}
+
+func TestFailFlagsSingleRun(t *testing.T) {
+	// The one-shot path threads the normalized FailSpec into Spec.Fault;
+	// both a found path and a clean no-path verdict are success here.
+	cases := [][]string{
+		{"-graph", "hypercube", "-n", "8", "-p", "0.9", "-fail-model", "region", "-fail-radius", "1", "-fail-count", "1"},
+		{"-graph", "hypercube", "-n", "8", "-p", "1", "-fail-model", "nodes", "-fail-count", "3"},
+		{"-graph", "kleinberg", "-side", "8", "-d", "2", "-p", "0.95", "-fail-model", "iid", "-fail-rate", "0.02"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestFailFlagsRejected(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "hypercube", "-n", "8", "-fail-model", "racks", "-fail-count", "1"},
+		{"-graph", "hypercube", "-n", "8", "-fail-model", "region", "-fail-rate", "0.5"},
+		{"-graph", "hypercube", "-n", "8", "-fail-rate", "1.5"},
+		{"-graph", "hypercube", "-n", "8", "-fail-model", "nodes", "-fail-count", "-2"},
+		{"-graph", "hypercube", "-n", "8", "-trials", "4", "-format", "yaml"},
+		{"-graph", "hypercube", "-n", "8", "-format", "json"}, // json needs estimate mode
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}

@@ -18,6 +18,13 @@
 //	faultroute -graph hypercube -n 12 -trials 50
 //	faultroute -graph hypercube -n 12 -trials 50 -psweep 0.3,0.4,0.5 -workers 4
 //
+// The -fail-* flags overlay a correlated failure model on top of bond
+// percolation: each trial additionally kills an i.i.d. vertex fraction,
+// a random BFS ball (a regional outage), or k uniform vertices:
+//
+//	faultroute -graph hypercube -n 12 -trials 50 -fail-model region -fail-radius 2 -fail-count 1
+//	faultroute -graph kleinberg -side 20 -d 2 -trials 50 -fail-model nodes -fail-count 8
+//
 // With -backends the estimate is dispatched across a pool of faultrouted
 // daemons instead of running in-process: the trial range splits into
 // sub-jobs fanned over the backends and the merged distribution is
@@ -67,10 +74,10 @@ var errUsage = errors.New("usage")
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultroute", flag.ContinueOnError)
 	var (
-		family     = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring")
+		family     = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, complete, debruijn, shuffleexchange, butterfly, cyclematching, ring, kleinberg")
 		n          = fs.Int("n", 10, "size parameter (dimension, depth, or order depending on -graph)")
-		d          = fs.Int("d", 2, "mesh/torus dimension")
-		side       = fs.Int("side", 16, "mesh/torus side length")
+		d          = fs.Int("d", 2, "mesh/torus dimension (kleinberg: long-range exponent r)")
+		side       = fs.Int("side", 16, "mesh/torus/kleinberg side length")
 		p          = fs.Float64("p", 0.5, "edge retention probability (failure probability is 1-p)")
 		seed       = fs.Uint64("seed", 1, "percolation seed (0 selects 1, the wire default)")
 		src        = fs.Uint64("src", 0, "source vertex")
@@ -86,6 +93,12 @@ func run(args []string) error {
 		timeout    = fs.Duration("timeout", 0, "abort an estimate run after this long, e.g. 30s (0 = no limit)")
 		backends   = fs.String("backends", "", "comma-separated faultrouted base URLs; estimate mode then shards its trials across the pool (results are byte-identical to in-process runs)")
 		hedgeAfter = fs.Duration("hedge-after", 0, "with -backends: minimum time a sub-job runs before a straggler is speculatively re-dispatched (0 = pool default)")
+		failModel  = fs.String("fail-model", "", "correlated failure model on top of percolation: iid, region, or nodes (default: none)")
+		failRate   = fs.Float64("fail-rate", 0, "iid model: per-vertex death probability in [0,1]")
+		failRadius = fs.Int("fail-radius", 0, "region model: BFS ball radius of each outage")
+		failCount  = fs.Int("fail-count", 0, "region model: number of outage balls; nodes model: number of vertex kills")
+		failSeed   = fs.Uint64("fail-seed", 0, "extra seed split into every per-trial outage draw")
+		format     = fs.String("format", "table", "estimate output: table, or json (the canonical result bytes a faultrouted daemon caches, one document per p)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,6 +110,19 @@ func run(args []string) error {
 	if *seed == 0 {
 		*seed = 1 // wire normalization's default; applied up front so every path agrees
 	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want table or json)", *format)
+	}
+	// A FailSpec travels only when a -fail-* flag was given, so the
+	// default invocation keeps the exact pre-failure-model wire bytes
+	// (and content address).
+	var fail *api.FailSpec
+	fs.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "fail-") {
+			fail = &api.FailSpec{Model: *failModel, Rate: *failRate,
+				Radius: *failRadius, Count: *failCount, Seed: *failSeed}
+		}
+	})
 	// The graph object (for the single-run path and its Name() header)
 	// comes from the same wire registry the daemon builds through.
 	g, err := api.NewGraph(api.GraphSpec{Family: *family, N: *n, D: *d, Side: *side, Seed: *seed})
@@ -117,6 +143,7 @@ func run(args []string) error {
 		Trials:   max(*trials, 1), // placeholder in single-run mode; normalization needs a positive count
 		MaxTries: *tries,
 		Seed:     *seed,
+		Fail:     fail,
 	}
 	if *dst >= 0 {
 		dstv := uint64(*dst)
@@ -172,13 +199,16 @@ func run(args []string) error {
 				reqWorkers = 0 // each backend's own default
 			}
 		}
-		return estimate(ctx, r, g.Name(), ne, *workers, reqWorkers, *psweep)
+		return estimate(ctx, r, g.Name(), ne, *workers, reqWorkers, *psweep, *format)
 	}
 	if *psweep != "" {
 		return fmt.Errorf("-psweep requires estimate mode: pass -trials N (N > 0)")
 	}
 	if *backends != "" {
 		return fmt.Errorf("-backends requires estimate mode: pass -trials N (N > 0)")
+	}
+	if *format != "table" {
+		return fmt.Errorf("-format %s requires estimate mode: pass -trials N (N > 0)", *format)
 	}
 
 	r, err := api.NewRouter(ne.Router, ne.Seed)
@@ -188,6 +218,10 @@ func run(args []string) error {
 	spec := faultroute.Spec{Graph: g, P: ne.P, Router: r, Budget: ne.Budget}
 	if ne.Mode == "oracle" {
 		spec.Mode = faultroute.ModeOracle
+	}
+	if nf := ne.Fail; nf != nil {
+		spec.Fault = faultroute.Fault{Model: nf.Model, Rate: nf.Rate,
+			Radius: nf.Radius, Count: nf.Count, Seed: nf.Seed}
 	}
 
 	fmt.Printf("%s  p=%v seed=%d  %s/%s  %d -> %d\n",
@@ -230,7 +264,7 @@ func run(args []string) error {
 // never changes a number. workers drives the local concurrency math
 // and the banner; reqWorkers is what each wire request carries (0 lets
 // a remote backend use its own default — workers are result-neutral).
-func estimate(ctx context.Context, r api.Runner, graphName string, spec api.EstimateSpec, workers, reqWorkers int, psweep string) error {
+func estimate(ctx context.Context, r api.Runner, graphName string, spec api.EstimateSpec, workers, reqWorkers int, psweep, format string) error {
 	ps := []float64{spec.P}
 	if psweep != "" {
 		ps = ps[:0]
@@ -242,8 +276,12 @@ func estimate(ctx context.Context, r api.Runner, graphName string, spec api.Esti
 			ps = append(ps, p)
 		}
 	}
-	fmt.Printf("%s  seed=%d  %s/%s  %d -> %d  (%d trials per p, %d workers)\n",
-		graphName, spec.Seed, spec.Router, spec.Mode, spec.Src, *spec.Dst, spec.Trials, workers)
+	if format == "table" {
+		// JSON mode keeps stdout pure: exactly the canonical result
+		// documents, no banner, so the bytes pin against any Runner.
+		fmt.Printf("%s  seed=%d  %s/%s  %d -> %d  (%d trials per p, %d workers)\n",
+			graphName, spec.Seed, spec.Router, spec.Mode, spec.Src, *spec.Dst, spec.Trials, workers)
+	}
 	// Cap in-flight ps so the total trial-goroutine count stays near
 	// workers: ceil(workers / per-request parallelism).
 	effective := workers
@@ -253,8 +291,9 @@ func estimate(ctx context.Context, r api.Runner, graphName string, spec api.Esti
 	perReq := min(effective, spec.Trials)
 	sem := make(chan struct{}, (effective+perReq-1)/perReq)
 	type row struct {
-		c   api.EstimateResult
-		err error
+		c    api.EstimateResult
+		body []byte
+		err  error
 	}
 	rows := make([]row, len(ps))
 	var wg sync.WaitGroup
@@ -271,6 +310,7 @@ func estimate(ctx context.Context, r api.Runner, graphName string, spec api.Esti
 				rows[i].err = err
 				return
 			}
+			rows[i].body = res.Body
 			rows[i].c, rows[i].err = res.Estimate()
 		}(i, p)
 	}
@@ -279,6 +319,14 @@ func estimate(ctx context.Context, r api.Runner, graphName string, spec api.Esti
 		if r.err != nil {
 			return r.err
 		}
+	}
+	if format == "json" {
+		for _, r := range rows {
+			if _, err := os.Stdout.Write(r.body); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	fmt.Printf("%8s  %6s  %8s  %8s  %8s  %8s  %8s  %8s\n",
 		"p", "pairs", "mean", "median", "p90", "max", "censored", "rejected")

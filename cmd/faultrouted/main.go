@@ -11,7 +11,7 @@
 //	GET    /v1/jobs/{id}/events Server-Sent-Events push progress stream
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/results/{key}    canonical result bytes for a content address
-//	GET    /v1/experiments      the E1..E18 registry with parameter schemas
+//	GET    /v1/experiments      the E1..E21 registry with parameter schemas
 //	GET    /v1/healthz          liveness + cache statistics
 //	GET    /v1/metrics          Prometheus text-format metrics (queue depth,
 //	                            executor utilization, cache and job counters)

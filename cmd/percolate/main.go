@@ -54,10 +54,10 @@ var errUsage = errors.New("usage")
 func run(args []string) error {
 	fs := flag.NewFlagSet("percolate", flag.ContinueOnError)
 	var (
-		family    = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, debruijn, shuffleexchange, butterfly, cyclematching, complete, ring")
+		family    = fs.String("graph", "hypercube", "topology: hypercube, mesh, torus, doubletree, debruijn, shuffleexchange, butterfly, cyclematching, complete, ring, kleinberg")
 		n         = fs.Int("n", 10, "size parameter")
-		d         = fs.Int("d", 2, "mesh/torus dimension")
-		side      = fs.Int("side", 24, "mesh/torus side length")
+		d         = fs.Int("d", 2, "mesh/torus dimension (kleinberg: long-range exponent r)")
+		side      = fs.Int("side", 24, "mesh/torus/kleinberg side length")
 		sweep     = fs.String("sweep", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated p values to scan")
 		trials    = fs.Int("trials", 10, "samples per p")
 		seed      = fs.Uint64("seed", 1, "base seed (0 selects 1, the wire default)")
@@ -65,6 +65,12 @@ func run(args []string) error {
 		clusters  = fs.Bool("clusters", false, "report cluster statistics (theta, susceptibility) instead of giant fractions")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the Monte-Carlo sweeps (results are identical for any value)")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
+
+		failModel  = fs.String("fail-model", "", "correlated failure model on top of percolation: iid, region, or nodes (default: none)")
+		failRate   = fs.Float64("fail-rate", 0, "iid model: per-vertex death probability in [0,1]")
+		failRadius = fs.Int("fail-radius", 0, "region model: BFS ball radius of each outage")
+		failCount  = fs.Int("fail-count", 0, "region model: number of outage balls; nodes model: number of vertex kills")
+		failSeed   = fs.Uint64("fail-seed", 0, "extra seed split into every per-trial outage draw")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,6 +82,16 @@ func run(args []string) error {
 	if *seed == 0 {
 		*seed = 1 // wire normalization's default; applied up front so every path agrees
 	}
+	// A FailSpec travels only when a -fail-* flag was given, so the
+	// default invocation keeps the exact pre-failure-model wire bytes
+	// (and content address).
+	var fail *api.FailSpec
+	fs.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "fail-") {
+			fail = &api.FailSpec{Model: *failModel, Rate: *failRate,
+				Radius: *failRadius, Count: *failCount, Seed: *failSeed}
+		}
+	})
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -92,6 +108,9 @@ func run(args []string) error {
 	}
 
 	if *threshold {
+		if fail != nil {
+			return fmt.Errorf("-fail-* flags apply to sweeps, not -threshold")
+		}
 		return findThreshold(ctx, g, *family, *trials, *seed, *workers)
 	}
 
@@ -109,6 +128,7 @@ func run(args []string) error {
 			Trials:   *trials,
 			Seed:     *seed,
 			Clusters: *clusters,
+			Fail:     fail,
 		},
 		Workers: *workers,
 	}

@@ -53,6 +53,32 @@ func TestRunClusterScan(t *testing.T) {
 	}
 }
 
+func TestRunSweepWithFailureModels(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "torus", "-side", "6", "-sweep", "0.5,0.7", "-trials", "3",
+			"-fail-model", "region", "-fail-radius", "1", "-fail-count", "1"},
+		{"-graph", "hypercube", "-n", "7", "-sweep", "0.6", "-trials", "3", "-clusters",
+			"-fail-model", "nodes", "-fail-count", "4"},
+		{"-graph", "kleinberg", "-side", "8", "-d", "2", "-sweep", "0.5,0.8", "-trials", "3"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFailureModels(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "hypercube", "-n", "7", "-sweep", "0.5", "-fail-model", "racks", "-fail-count", "1"},
+		{"-graph", "hypercube", "-n", "7", "-sweep", "0.5", "-fail-model", "region", "-fail-rate", "0.5"},
+		{"-graph", "doubletree", "-n", "8", "-threshold", "-fail-model", "nodes", "-fail-count", "1"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}
+
 func TestRunThresholdDoubleTree(t *testing.T) {
 	args := []string{"-graph", "doubletree", "-n", "8", "-threshold", "-trials", "3"}
 	if err := run(args); err != nil {

@@ -79,3 +79,28 @@ func TestJSONOutputByteIdenticalAcrossAllThreeEntryPoints(t *testing.T) {
 		t.Errorf("content addresses differ: %s vs %s", viaLocal.Key, viaClient.Key)
 	}
 }
+
+func TestFailureModelExperimentsJSONByteIdenticalToLocal(t *testing.T) {
+	// E19–E21 (correlated failures and the kleinberg family) through
+	// `routebench -format json` must concatenate exactly the canonical
+	// documents faultroute.Local returns for the same specs.
+	viaCLI := captureStdout(t, func() error {
+		return run([]string{"-exp", "E19,E20,E21", "-seed", "1", "-scale", "quick", "-format", "json"})
+	})
+
+	var want bytes.Buffer
+	local := faultroute.NewLocal()
+	for _, id := range []string{"E19", "E20", "E21"} {
+		res, err := local.Do(context.Background(), api.Request{
+			Kind:       api.KindExperiment,
+			Experiment: &api.ExperimentSpec{ID: id, Seed: 1, Scale: "quick"},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		want.Write(res.Body)
+	}
+	if !bytes.Equal(viaCLI, want.Bytes()) {
+		t.Errorf("CLI and Local bytes differ:\ncli:   %s\nlocal: %s", viaCLI, want.Bytes())
+	}
+}

@@ -1,5 +1,5 @@
 // Command routebench regenerates the paper's evaluation: it runs the
-// experiments E1..E18 cataloged in EXPERIMENTS.md and prints their
+// experiments E1..E21 cataloged in EXPERIMENTS.md and prints their
 // tables.
 //
 // Usage:

@@ -1,0 +1,143 @@
+package faultroute_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"faultroute"
+	"faultroute/api"
+)
+
+// This file pins the metamorphic identities of the failure-model axis:
+// specs that DESCRIBE the same distribution must PRODUCE byte-identical
+// results (at every worker count), and specs that cannot kill anything
+// must normalize onto the content address of the plain job. These are
+// the properties that make the FailSpec wire extension safe to cache.
+
+func failEstimate(fail *api.FailSpec) api.Request {
+	return api.Request{Kind: api.KindEstimate, Estimate: &api.EstimateSpec{
+		Graph:  api.GraphSpec{Family: "hypercube", N: 7},
+		P:      0.6,
+		Trials: 6,
+		Seed:   3,
+		Fail:   fail,
+	}}
+}
+
+func failPercolation(fail *api.FailSpec) api.Request {
+	return api.Request{Kind: api.KindPercolation, Percolation: &api.PercolationSpec{
+		Graph:  api.GraphSpec{Family: "torus", D: 2, Side: 6},
+		Ps:     []float64{0.4, 0.7},
+		Trials: 4,
+		Seed:   5,
+		Fail:   fail,
+	}}
+}
+
+func runBody(t *testing.T, workers int, req api.Request) []byte {
+	t.Helper()
+	req.Workers = workers
+	res, err := faultroute.NewLocal().Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	return res.Body
+}
+
+func TestRegionRadiusZeroEqualsSingleNodeKill(t *testing.T) {
+	// region with Radius 0 and nodes draw their kills from the same
+	// failure stream, so with matching Count and Seed they are the SAME
+	// distribution — distinct specs (distinct keys), byte-identical
+	// bodies, at any worker count.
+	region := failEstimate(&api.FailSpec{Model: "region", Radius: 0, Count: 1, Seed: 11})
+	nodes := failEstimate(&api.FailSpec{Model: "nodes", Count: 1, Seed: 11})
+	regionKey, err := api.Key(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesKey, err := api.Key(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regionKey == nodesKey {
+		t.Fatal("region and nodes specs share a content address; they are different wire specs")
+	}
+	want := runBody(t, 1, region)
+	for _, workers := range []int{1, 4} {
+		if got := runBody(t, workers, region); !bytes.Equal(got, want) {
+			t.Fatalf("region body differs at %d workers", workers)
+		}
+		if got := runBody(t, workers, nodes); !bytes.Equal(got, want) {
+			t.Fatalf("nodes body differs from region body at %d workers:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+
+	// Same identity on the percolation scan path.
+	pRegion := failPercolation(&api.FailSpec{Model: "region", Radius: 0, Count: 2, Seed: 7})
+	pNodes := failPercolation(&api.FailSpec{Model: "nodes", Count: 2, Seed: 7})
+	pWant := runBody(t, 1, pRegion)
+	for _, workers := range []int{1, 4} {
+		if got := runBody(t, workers, pRegion); !bytes.Equal(got, pWant) {
+			t.Fatalf("percolation region body differs at %d workers", workers)
+		}
+		if got := runBody(t, workers, pNodes); !bytes.Equal(got, pWant) {
+			t.Fatalf("percolation nodes body differs from region body at %d workers", workers)
+		}
+	}
+}
+
+func TestNoOpFailSpecsNormalizeAway(t *testing.T) {
+	// A model that cannot kill anything IS the plain job: same content
+	// address (one cache entry, not three), same bytes.
+	baseline := failEstimate(nil)
+	baseKey, err := api.Key(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noop := range []*api.FailSpec{
+		{Model: "iid", Rate: 0},
+		{Model: "nodes", Count: 0},
+		{Model: "region", Radius: 2, Count: 0},
+		{}, // empty: defaults to iid rate 0
+	} {
+		req := failEstimate(noop)
+		key, err := api.Key(req)
+		if err != nil {
+			t.Fatalf("%+v: %v", noop, err)
+		}
+		if key != baseKey {
+			t.Fatalf("no-op FailSpec %+v got its own content address %s (baseline %s)", noop, key, baseKey)
+		}
+		norm, err := api.Normalize(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.Estimate.Fail != nil {
+			t.Fatalf("no-op FailSpec %+v survived normalization as %+v", noop, norm.Estimate.Fail)
+		}
+	}
+	want := runBody(t, 1, baseline)
+	if got := runBody(t, 4, failEstimate(&api.FailSpec{Model: "nodes", Count: 0})); !bytes.Equal(got, want) {
+		t.Fatal("no-op nodes FailSpec changed result bytes")
+	}
+}
+
+func TestFailSpecActuallyKills(t *testing.T) {
+	// Guard against the failure model silently becoming a no-op: an
+	// enabled model must change both the content address and the result
+	// distribution.
+	baseline := failEstimate(nil)
+	region := failEstimate(&api.FailSpec{Model: "region", Radius: 1, Count: 1, Seed: 2})
+	baseKey, _ := api.Key(baseline)
+	regionKey, err := api.Key(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regionKey == baseKey {
+		t.Fatal("enabled region FailSpec shares the baseline content address")
+	}
+	if bytes.Equal(runBody(t, 1, baseline), runBody(t, 1, region)) {
+		t.Fatal("radius-1 regional outage did not change the estimate result")
+	}
+}

@@ -82,7 +82,12 @@ type (
 	Complexity = core.Complexity
 	// Mode selects local or oracle probing.
 	Mode = core.Mode
-	// Experiment is one reproducible paper experiment (E1..E18).
+	// Fault is a correlated failure model (iid, region, nodes) applied
+	// on top of bond percolation via Spec.Fault; the zero value disables
+	// it. Each trial draws an independent outage split from the sample
+	// seed, so results stay bit-identical at every worker count.
+	Fault = sim.Fault
+	// Experiment is one reproducible paper experiment (E1..E21).
 	Experiment = exp.Experiment
 	// ExperimentConfig parameterizes experiment runs.
 	ExperimentConfig = exp.Config
@@ -125,6 +130,12 @@ type (
 	CycleMatching = graph.CycleMatching
 	// Ring is the cycle C_n.
 	Ring = graph.Ring
+	// Kleinberg is the 2D small-world grid with distance-biased
+	// long-range contacts (exponent r).
+	Kleinberg = graph.Kleinberg
+	// Underlay is implemented by graphs whose lattice distance upper
+	// bounds — but need not equal — the true distance (e.g. Kleinberg).
+	Underlay = graph.Underlay
 )
 
 // Query modes (Definition 1).
@@ -133,6 +144,17 @@ const (
 	ModeLocal = core.ModeLocal
 	// ModeOracle allows probing any edge (Section 5).
 	ModeOracle = core.ModeOracle
+)
+
+// Failure models for Spec.Fault / api.FailSpec.
+const (
+	// FailIID kills each vertex independently with probability Rate.
+	FailIID = sim.FailIID
+	// FailRegion kills Count BFS balls of radius Radius (correlated
+	// regional outages).
+	FailRegion = sim.FailRegion
+	// FailNodes kills Count uniformly random vertices.
+	FailNodes = sim.FailNodes
 )
 
 // Experiment scales.
@@ -193,6 +215,14 @@ func NewCycleMatching(n int, seed uint64) (*CycleMatching, error) {
 
 // NewRing returns the cycle C_n.
 func NewRing(n int) (*Ring, error) { return graph.NewRing(n) }
+
+// NewKleinberg returns the side×side small-world grid with one
+// seed-determined long-range contact per vertex, drawn with probability
+// proportional to d^-exponent (Kleinberg's model; exponent 2 is the
+// navigable sweet spot, 0 is uniform).
+func NewKleinberg(side, exponent int, seed uint64) (*Kleinberg, error) {
+	return graph.NewKleinberg(side, exponent, seed)
+}
 
 // Percolation.
 
@@ -367,7 +397,7 @@ func ValidatePath(s Sample, path Path, src, dst Vertex) error {
 
 // Experiments.
 
-// Experiments returns the full registry E1..E18 in order.
+// Experiments returns the full registry E1..E21 in order.
 func Experiments() []Experiment { return exp.All() }
 
 // ExperimentByID looks up one experiment, e.g. "E3".

@@ -146,7 +146,7 @@ func TestFacadeDoubleTreeOracle(t *testing.T) {
 }
 
 func TestFacadeExperimentsRegistry(t *testing.T) {
-	if len(faultroute.Experiments()) != 18 {
+	if len(faultroute.Experiments()) != 21 {
 		t.Fatalf("registry size = %d", len(faultroute.Experiments()))
 	}
 	if _, err := faultroute.ExperimentByID("E1"); err != nil {

@@ -21,6 +21,7 @@ import (
 	"faultroute/internal/rng"
 	"faultroute/internal/route"
 	"faultroute/internal/runner"
+	"faultroute/internal/sim"
 	"faultroute/internal/stats"
 )
 
@@ -63,6 +64,11 @@ type Spec struct {
 	// Budget caps distinct probes per run (0 = unlimited); exceeding it
 	// censors the run.
 	Budget int
+	// Fault layers a correlated failure model over the edge percolation:
+	// each sample additionally kills the vertices the model draws for
+	// that sample's seed. The zero value disables it (pure bond
+	// percolation, the paper's setting).
+	Fault sim.Fault
 }
 
 // validate returns an error for specs that cannot be measured.
@@ -102,6 +108,13 @@ func Run(spec Spec, src, dst graph.Vertex, seed uint64) (Outcome, error) {
 		return Outcome{}, err
 	}
 	s := percolation.New(spec.Graph, spec.P, seed)
+	// The failure mask is a pure function of (Fault, graph, seed), so
+	// rebuilding it here draws exactly the casualties the conditioning
+	// check saw for the same sample seed.
+	if mask := spec.Fault.Sample(spec.Graph, seed); mask != nil {
+		defer mask.Release()
+		s = s.WithDead(mask)
+	}
 	// Probers (and, through their arena, the routers) draw all trial
 	// bookkeeping from the shared scratch pool; releasing on return is
 	// what lets each worker reuse one warm set of tables across the
@@ -180,8 +193,16 @@ func EstimateTrial(spec Spec, src, dst graph.Vertex, trial, maxTries int, seed u
 		// Conditioning uses the pooled early-exit cluster search: it
 		// answers {src ~ dst} exactly (identical accept/reject decisions
 		// to full component labeling) while touching only src's cluster
-		// and allocating nothing in steady state.
-		conn, err := percolation.Connected(percolation.New(spec.Graph, spec.P, sampleSeed), src, dst)
+		// and allocating nothing in steady state. The failure mask — when
+		// a correlated model is active — conditions right along with the
+		// bonds: {src ~ dst} means connected in the surviving graph.
+		s := percolation.New(spec.Graph, spec.P, sampleSeed)
+		mask := spec.Fault.Sample(spec.Graph, sampleSeed)
+		if mask != nil {
+			s = s.WithDead(mask)
+		}
+		conn, err := percolation.Connected(s, src, dst)
+		mask.Release()
 		if err != nil {
 			res.Err = err
 			return res

@@ -1,7 +1,7 @@
 // Package exp is the experiment harness: it regenerates, as numeric
 // tables, every theorem-shaped claim of the paper's evaluation (the paper
 // is pure theory, so its "tables and figures" are its theorems;
-// EXPERIMENTS.md maps each to an experiment ID E1..E18). Each experiment
+// EXPERIMENTS.md maps each to an experiment ID E1..E21). Each experiment
 // is a pure function of a Config — same seed, same table, for any worker
 // count — and renders plain-text tables via Table. Trial loops fan out
 // across Config.Workers via the internal/runner pool.

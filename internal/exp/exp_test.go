@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)

@@ -58,6 +58,39 @@ type Metric interface {
 	Dist(u, v Vertex) int
 }
 
+// Underlay is implemented by graphs embedded in a lattice whose
+// geometric distance the greedy routers can steer by even though it is
+// NOT the true shortest-path metric of the graph: small-world families
+// add long-range contacts that shorten real distances below the lattice
+// distance, so they must not implement Metric (which promises exact
+// distances), but greedy navigation in the sense of Kleinberg is defined
+// precisely in terms of the underlay geometry.
+type Underlay interface {
+	// UnderlayDist returns the lattice (underlay) distance between u and
+	// v — an upper bound on the true graph distance.
+	UnderlayDist(u, v Vertex) int
+}
+
+// underlayMetric adapts an Underlay to the Metric shape so routers can
+// hold one distance interface regardless of which the graph implements.
+type underlayMetric struct{ u Underlay }
+
+func (m underlayMetric) Dist(a, b Vertex) int { return m.u.UnderlayDist(a, b) }
+
+// DistanceOf returns the distance function geometric routers steer by:
+// the exact base-graph metric when g implements Metric, else the lattice
+// underlay distance when g implements Underlay. ok is false when g has
+// neither.
+func DistanceOf(g Graph) (Metric, bool) {
+	if m, ok := g.(Metric); ok {
+		return m, true
+	}
+	if u, ok := g.(Underlay); ok {
+		return underlayMetric{u}, true
+	}
+	return nil, false
+}
+
 // PathMaker is implemented by graphs that can produce a canonical
 // shortest path between two vertices of the base (un-percolated) graph.
 // The waypoint-following routers of the paper (Theorem 3(ii) for the

@@ -1,0 +1,116 @@
+package graph
+
+import "testing"
+
+func TestKleinbergOrderAndGridBackbone(t *testing.T) {
+	g := MustKleinberg(8, 2, 1)
+	if g.Order() != 64 {
+		t.Fatalf("order = %d, want 64", g.Order())
+	}
+	// Every grid edge must exist regardless of which contacts were drawn.
+	for y := uint64(0); y < 8; y++ {
+		for x := uint64(0); x < 8; x++ {
+			v := Vertex(y*8 + x)
+			if x+1 < 8 && !IsEdge(g, v, v+1) {
+				t.Fatalf("missing x grid edge at %d", v)
+			}
+			if y+1 < 8 && !IsEdge(g, v, v+8) {
+				t.Fatalf("missing y grid edge at %d", v)
+			}
+		}
+	}
+	// Degree ≥ grid degree, and at least one vertex gained a contact.
+	gained := false
+	for v := Vertex(0); uint64(v) < g.Order(); v++ {
+		if g.Degree(v) < g.gridDegree(v) {
+			t.Fatalf("degree %d below grid degree at %d", g.Degree(v), v)
+		}
+		if g.Degree(v) > g.gridDegree(v) {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Fatal("no long-range contact materialized")
+	}
+}
+
+func TestKleinbergDeterministicConstruction(t *testing.T) {
+	a, b := MustKleinberg(10, 2, 7), MustKleinberg(10, 2, 7)
+	for v := Vertex(0); uint64(v) < a.Order(); v++ {
+		if a.Degree(v) != b.Degree(v) {
+			t.Fatalf("degree mismatch at %d: %d vs %d", v, a.Degree(v), b.Degree(v))
+		}
+		for i := 0; i < a.Degree(v); i++ {
+			if a.Neighbor(v, i) != b.Neighbor(v, i) {
+				t.Fatalf("neighbor mismatch at (%d,%d)", v, i)
+			}
+		}
+	}
+	// A different seed must (overwhelmingly) draw different contacts.
+	c := MustKleinberg(10, 2, 8)
+	same := true
+	for v := Vertex(0); uint64(v) < a.Order() && same; v++ {
+		if a.Degree(v) != c.Degree(v) {
+			same = false
+		}
+	}
+	if same {
+		for v := Vertex(0); uint64(v) < a.Order() && same; v++ {
+			for i := 0; i < a.Degree(v); i++ {
+				if a.Neighbor(v, i) != c.Neighbor(v, i) {
+					same = false
+					break
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical contact sets")
+	}
+}
+
+func TestKleinbergUnderlayBoundsTrueDistance(t *testing.T) {
+	g := MustKleinberg(7, 2, 3)
+	for u := Vertex(0); uint64(u) < g.Order(); u += 5 {
+		for v := Vertex(0); uint64(v) < g.Order(); v += 7 {
+			bfs := BFSDist(g, u, v)
+			if bfs < 0 {
+				t.Fatalf("graph disconnected at (%d,%d)", u, v)
+			}
+			if ud := g.UnderlayDist(u, v); bfs > ud {
+				t.Fatalf("BFS distance %d exceeds underlay distance %d for (%d,%d)", bfs, ud, u, v)
+			}
+		}
+	}
+}
+
+func TestKleinbergExponentSkewsContactLength(t *testing.T) {
+	// r = 0 draws contacts uniformly; r = 4 concentrates them near the
+	// source. Mean long-range edge length must drop as r grows.
+	meanLen := func(r int) float64 {
+		g := MustKleinberg(16, r, 11)
+		total, count := 0, 0
+		ForEachEdge(g, func(u, v Vertex, id uint64) bool {
+			if d := g.latticeDist(u, v); d > 1 {
+				total += d
+				count++
+			}
+			return true
+		})
+		if count == 0 {
+			t.Fatalf("r=%d produced no long-range edges", r)
+		}
+		return float64(total) / float64(count)
+	}
+	if uniform, local := meanLen(0), meanLen(4); local >= uniform {
+		t.Fatalf("mean contact length did not shrink with exponent: r=0 %.2f, r=4 %.2f", uniform, local)
+	}
+}
+
+func TestKleinbergRejectsBadParameters(t *testing.T) {
+	for _, c := range []struct{ side, r int }{{2, 2}, {65, 2}, {8, -1}, {8, 9}} {
+		if _, err := NewKleinberg(c.side, c.r, 1); err == nil {
+			t.Fatalf("NewKleinberg(%d, %d) accepted", c.side, c.r)
+		}
+	}
+}

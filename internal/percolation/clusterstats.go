@@ -96,12 +96,23 @@ func ClusterScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64
 // non-nil — observes each labeled sample, and a completed scan is
 // bit-identical to ClusterScanWorkers.
 func ClusterScanCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int, progress runner.Progress) ([]ClusterStats, error) {
+	return ClusterScanSampledCtx(ctx, g, ps, trials, baseSeed, workers, progress, defaultFactory(g))
+}
+
+// ClusterScanSampledCtx is ClusterScanCtx with every cell's sample built
+// by newSample instead of plain bond percolation — the failure-model
+// hook, mirroring GiantScanSampledCtx. Cell seeds are split exactly as
+// in ClusterScanCtx.
+func ClusterScanSampledCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int, progress runner.Progress, newSample SampleFactory) ([]ClusterStats, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("percolation: cluster scan needs positive trials, got %d", trials)
 	}
 	samples, err := runner.MapCtx(ctx, runner.New(workers), len(ps)*trials, progress, func(flat int) (ClusterStats, error) {
 		row, t := flat/trials, flat%trials
-		s := New(g, ps[row], rng.Combine(baseSeed, uint64(row)<<32|uint64(t)))
+		s, release := newSample(ps[row], rng.Combine(baseSeed, uint64(row)<<32|uint64(t)))
+		if release != nil {
+			defer release()
+		}
 		comps, err := Label(s)
 		if err != nil {
 			return ClusterStats{}, err

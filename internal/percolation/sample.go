@@ -24,17 +24,30 @@ import (
 // not an edge of the base graph.
 var ErrNotEdge = errors.New("percolation: not an edge of the base graph")
 
+// DeadSet is an externally sampled set of failed vertices layered onto a
+// sample — the hook through which the correlated failure models of
+// internal/sim (regional outages, targeted node kills) reach the
+// percolation layer without this package depending on how the set was
+// drawn. A dead vertex behaves exactly like a site-percolation casualty:
+// every incident edge is closed.
+type DeadSet interface {
+	// Dead reports whether vertex v failed.
+	Dead(v graph.Vertex) bool
+}
+
 // Sample is a percolation sample of a base graph: Bernoulli(p) bond
 // percolation, optionally combined with Bernoulli(pSite) site
 // percolation (node failures, the model of the Hastad-Leighton-Newman
-// line of work the paper cites). An edge is open iff its bond coin AND
-// both endpoints' site coins come up. The zero value is not meaningful;
-// construct with New or NewSiteBond.
+// line of work the paper cites) and/or an externally drawn DeadSet. An
+// edge is open iff its bond coin AND both endpoints' site coins come up
+// AND neither endpoint is in the dead set. The zero value is not
+// meaningful; construct with New or NewSiteBond.
 type Sample struct {
 	g     graph.Graph
 	p     float64
 	pSite float64
 	seed  uint64
+	dead  DeadSet
 }
 
 // siteSalt decorrelates site coins from bond coins under the same seed.
@@ -76,9 +89,24 @@ func (s Sample) PSite() float64 { return s.pSite }
 // Seed returns the sample seed.
 func (s Sample) Seed() uint64 { return s.seed }
 
-// Alive reports whether vertex v survived site percolation (always true
-// for pure bond samples).
+// WithDead returns a copy of s with the failure mask attached: vertices
+// the mask reports dead are treated as failed on top of whatever the
+// sample's own site coins decide. A nil mask detaches.
+func (s Sample) WithDead(d DeadSet) Sample {
+	s.dead = d
+	return s
+}
+
+// Dead returns the attached failure mask, or nil.
+func (s Sample) Dead() DeadSet { return s.dead }
+
+// Alive reports whether vertex v survived site percolation and the
+// attached failure mask (always true for pure bond samples with no
+// mask).
 func (s Sample) Alive(v graph.Vertex) bool {
+	if s.dead != nil && s.dead.Dead(v) {
+		return false
+	}
 	if s.pSite >= 1 {
 		return true
 	}

@@ -152,11 +152,35 @@ func GiantScanWorkers(g graph.Graph, ps []float64, trials int, baseSeed uint64, 
 	return GiantScanCtx(context.Background(), g, ps, trials, baseSeed, workers, nil)
 }
 
+// SampleFactory builds the percolation sample of one Monte-Carlo scan
+// cell from its retention probability and split seed, returning the
+// sample plus an optional release hook (nil when there is nothing to
+// free) that the scan invokes once the cell's labeling is done. It is
+// how the correlated failure models of internal/sim attach per-sample
+// dead-vertex masks to a scan without this package knowing how masks are
+// drawn; the default factory is plain New.
+type SampleFactory func(p float64, seed uint64) (Sample, func())
+
+// defaultFactory is the pure bond-percolation SampleFactory.
+func defaultFactory(g graph.Graph) SampleFactory {
+	return func(p float64, seed uint64) (Sample, func()) {
+		return New(g, p, seed), nil
+	}
+}
+
 // GiantScanCtx is GiantScanWorkers with cancellation and a progress
 // hook: a done ctx aborts the scan with ctx's error, progress — when
 // non-nil — observes each labeled sample, and a completed scan is
 // bit-identical to GiantScanWorkers.
 func GiantScanCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int, progress runner.Progress) ([]GiantStats, error) {
+	return GiantScanSampledCtx(ctx, g, ps, trials, baseSeed, workers, progress, defaultFactory(g))
+}
+
+// GiantScanSampledCtx is GiantScanCtx with every cell's sample built by
+// newSample instead of plain bond percolation. Cell seeds are split
+// exactly as in GiantScanCtx, so a factory that ignores its extra
+// freedom reproduces GiantScanCtx byte for byte.
+func GiantScanSampledCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, baseSeed uint64, workers int, progress runner.Progress, newSample SampleFactory) ([]GiantStats, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("percolation: giant scan needs positive trials, got %d", trials)
 	}
@@ -167,7 +191,11 @@ func GiantScanCtx(ctx context.Context, g graph.Graph, ps []float64, trials int, 
 	samples, err := runner.MapCtx(ctx, runner.New(workers), len(ps)*trials, progress, func(flat int) (sample, error) {
 		row, t := flat/trials, flat%trials
 		seed := rng.Combine(baseSeed, uint64(row)<<32|uint64(t))
-		comps, err := Label(New(g, ps[row], seed))
+		s, release := newSample(ps[row], seed)
+		if release != nil {
+			defer release()
+		}
+		comps, err := Label(s)
 		if err != nil {
 			return sample{}, err
 		}

@@ -107,7 +107,8 @@ func bfsSearchBudget(a *arena.Arena, pr probe.Prober, root graph.Vertex, goal fu
 type GreedyMetric struct{}
 
 // NewGreedyMetric returns the best-first metric router. Route fails with
-// an error if the prober's graph does not implement graph.Metric.
+// an error if the prober's graph implements neither graph.Metric nor
+// graph.Underlay (small-world families steer by their lattice underlay).
 func NewGreedyMetric() *GreedyMetric { return &GreedyMetric{} }
 
 // Name implements Router.
@@ -116,9 +117,9 @@ func (r *GreedyMetric) Name() string { return "greedy" }
 // Route implements Router.
 func (r *GreedyMetric) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 	g := pr.Graph()
-	m, ok := g.(graph.Metric)
+	m, ok := graph.DistanceOf(g)
 	if !ok {
-		return nil, fmt.Errorf("route: greedy router needs a metric graph, %s has none", g.Name())
+		return nil, fmt.Errorf("route: greedy router needs a metric or underlay graph, %s has neither", g.Name())
 	}
 	if src == dst {
 		return Path{src}, nil

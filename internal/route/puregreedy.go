@@ -25,7 +25,7 @@ var ErrStuck = errors.New("route: greedy walk stuck (no open improving edge)")
 type PureGreedy struct{}
 
 // NewPureGreedy returns the no-backtracking greedy router. Route fails
-// with an error if the graph has no metric.
+// with an error if the graph has neither a metric nor a lattice underlay.
 func NewPureGreedy() *PureGreedy { return &PureGreedy{} }
 
 // Name implements Router.
@@ -36,9 +36,9 @@ func (r *PureGreedy) Name() string { return "pure-greedy" }
 // base-graph geodesic.
 func (r *PureGreedy) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 	g := pr.Graph()
-	m, ok := g.(graph.Metric)
+	m, ok := graph.DistanceOf(g)
 	if !ok {
-		return nil, fmt.Errorf("route: pure greedy needs a metric graph, %s has none", g.Name())
+		return nil, fmt.Errorf("route: pure greedy needs a metric or underlay graph, %s has neither", g.Name())
 	}
 	path := Path{src}
 	cur := src
@@ -92,9 +92,9 @@ func (r *GreedyWithRescue) Name() string { return "greedy-rescue" }
 // Route implements Router.
 func (r *GreedyWithRescue) Route(pr probe.Prober, src, dst graph.Vertex) (Path, error) {
 	g := pr.Graph()
-	m, ok := g.(graph.Metric)
+	m, ok := graph.DistanceOf(g)
 	if !ok {
-		return nil, fmt.Errorf("route: greedy-rescue needs a metric graph, %s has none", g.Name())
+		return nil, fmt.Errorf("route: greedy-rescue needs a metric or underlay graph, %s has neither", g.Name())
 	}
 	a, done := scratch(pr)
 	defer done()

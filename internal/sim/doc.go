@@ -14,4 +14,12 @@
 //
 // Each simulation owns its event queue and network state, so the exp
 // harness can run E13/E16 trials concurrently, one simulator per trial.
+//
+// The package also hosts the correlated failure models (Fault / Mask,
+// failure.go): per-trial vertex outage masks — i.i.d. kills, regional
+// BFS-ball outages, or k uniform kills — drawn from seeds split off the
+// trial's sample seed and layered over percolation samples as DeadSets.
+// They live here rather than in percolation because they describe how a
+// NETWORK fails (whole nodes, correlated regions), not how individual
+// bonds percolate.
 package sim

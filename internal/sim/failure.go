@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+
+	"faultroute/internal/arena"
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+	"faultroute/internal/rng"
+)
+
+// This file is the correlated failure-model layer: production faults are
+// clustered (a rack, a region, a targeted set of machines), not i.i.d.
+// edges, and the conditioning structure the routing experiments exploit
+// changes completely when whole neighborhoods die together. A Fault
+// describes the model; Sample draws one failure configuration per
+// percolation sample as an arena-backed mask that plugs into
+// percolation.Sample via WithDead.
+
+// Failure-model identifiers — the values api.FailSpec.Model carries on
+// the wire.
+const (
+	// FailIID kills each vertex independently with probability Rate.
+	FailIID = "iid"
+	// FailRegion kills every vertex within BFS distance Radius of each of
+	// Count uniformly drawn centers — a regional outage.
+	FailRegion = "region"
+	// FailNodes kills Count uniformly drawn vertices — targeted node
+	// failures, generalizing experiment E18. It is exactly FailRegion
+	// with Radius 0.
+	FailNodes = "nodes"
+)
+
+// Fault fixes a correlated failure model: which model, its parameters,
+// and the seed of the failure stream. The zero value is the disabled
+// model (no vertex ever fails). Fields mirror api.FailSpec, which is
+// where validation and normalization live; this layer only samples.
+type Fault struct {
+	// Model is FailIID, FailRegion, FailNodes, or "" (disabled).
+	Model string
+	// Rate is the per-vertex failure probability of FailIID.
+	Rate float64
+	// Radius is the BFS ball radius of FailRegion.
+	Radius int
+	// Count is the number of outage balls (FailRegion) or killed
+	// vertices (FailNodes).
+	Count int
+	// Seed feeds the failure stream, decorrelating fault sampling from
+	// the percolation coins of the same sample seed.
+	Seed uint64
+}
+
+// Enabled reports whether the model can ever kill a vertex.
+func (f Fault) Enabled() bool {
+	switch f.Model {
+	case FailIID:
+		return f.Rate > 0
+	case FailRegion, FailNodes:
+		return f.Count > 0
+	}
+	return false
+}
+
+// failSalt decorrelates the failure stream from the bond and site coins
+// drawn under the same sample seed.
+const failSalt = 0xfa17_ba11
+
+// Mask is one drawn failure configuration: the DeadSet a single
+// percolation sample carries. IID masks are pure coin predicates
+// (nothing stored); region/nodes masks hold their killed set in a pooled
+// arena, so steady-state sampling allocates nothing. Release returns the
+// arena state; a nil *Mask is the empty mask and Release on it is a
+// no-op.
+type Mask struct {
+	coinSeed uint64
+	rate     float64
+	set      *arena.VSet
+	a        *arena.Arena
+}
+
+// Dead implements percolation.DeadSet.
+func (m *Mask) Dead(v graph.Vertex) bool {
+	if m == nil {
+		return false
+	}
+	if m.set != nil {
+		return m.set.Has(v)
+	}
+	return rng.Coin(m.coinSeed, uint64(v), m.rate)
+}
+
+// Release returns the mask's arena-backed state to the shared pool.
+func (m *Mask) Release() {
+	if m == nil || m.a == nil {
+		return
+	}
+	m.a.PutSet(m.set)
+	m.a.Release()
+	m.set, m.a = nil, nil
+}
+
+// Sample draws the failure configuration of one percolation sample. The
+// mask is a pure function of (f, g, sampleSeed): the failure stream is
+// split from the sample seed through failSalt and f.Seed, so the same
+// trial kills the same vertices on every machine and at every worker
+// count. It returns nil — the empty mask — when the model is disabled.
+func (f Fault) Sample(g graph.Graph, sampleSeed uint64) *Mask {
+	if !f.Enabled() {
+		return nil
+	}
+	maskSeed := rng.Combine(rng.Combine(sampleSeed, failSalt), f.Seed)
+	if f.Model == FailIID {
+		return &Mask{coinSeed: maskSeed, rate: f.Rate}
+	}
+	radius := 0
+	if f.Model == FailRegion {
+		radius = f.Radius
+	}
+	a := arena.Acquire()
+	set := a.Set(g.Order())
+	stream := rng.NewStream(maskSeed)
+	if radius == 0 {
+		// Balls of radius 0 are single kills; skip the BFS machinery.
+		for k := 0; k < f.Count; k++ {
+			set.Add(graph.Vertex(stream.Uint64n(g.Order())))
+		}
+		return &Mask{set: set, a: a}
+	}
+	// Each ball is an independent BFS in the BASE graph: overlap with an
+	// earlier ball must not truncate a later one, so visitation state is
+	// per-ball (reset between centers), while the kill set accumulates.
+	visited := a.Set(g.Order())
+	queue := a.Vertices()
+	depth := a.Ints()
+	var buf []graph.Vertex
+	for k := 0; k < f.Count; k++ {
+		center := graph.Vertex(stream.Uint64n(g.Order()))
+		visited.Reset(g.Order())
+		queue, depth = queue[:0], depth[:0]
+		queue, depth = append(queue, center), append(depth, 0)
+		visited.Add(center)
+		set.Add(center)
+		for head := 0; head < len(queue); head++ {
+			v, d := queue[head], depth[head]
+			if d == radius {
+				continue
+			}
+			buf = graph.Neighbors(g, v, buf[:0])
+			for _, w := range buf {
+				if visited.Has(w) {
+					continue
+				}
+				visited.Add(w)
+				set.Add(w)
+				queue, depth = append(queue, w), append(depth, d+1)
+			}
+		}
+	}
+	a.PutVertices(queue)
+	a.PutInts(depth)
+	a.PutSet(visited)
+	return &Mask{set: set, a: a}
+}
+
+// NewSample is the SampleFactory glue for percolation scans: it builds
+// the bond-percolation sample of each (p, seed) cell and — when f is
+// enabled — attaches that cell's failure mask, returning the mask's
+// Release as the cleanup hook.
+func (f Fault) NewSample(g graph.Graph) percolation.SampleFactory {
+	return func(p float64, seed uint64) (percolation.Sample, func()) {
+		s := percolation.New(g, p, seed)
+		if mask := f.Sample(g, seed); mask != nil {
+			return s.WithDead(mask), mask.Release
+		}
+		return s, nil
+	}
+}
+
+// BallSize returns the number of vertices within BFS distance radius of
+// center in g — the kill count of one FailRegion ball, used by the
+// catalog experiments to match FailNodes counts against regional
+// outages.
+func BallSize(g graph.Graph, center graph.Vertex, radius int) int {
+	a := arena.Acquire()
+	defer a.Release()
+	visited := a.Set(g.Order())
+	defer a.PutSet(visited)
+	queue := []graph.Vertex{center}
+	depth := []int{0}
+	visited.Add(center)
+	size := 1
+	var buf []graph.Vertex
+	for head := 0; head < len(queue); head++ {
+		v, d := queue[head], depth[head]
+		if d == radius {
+			continue
+		}
+		buf = graph.Neighbors(g, v, buf[:0])
+		for _, w := range buf {
+			if visited.Has(w) {
+				continue
+			}
+			visited.Add(w)
+			size++
+			queue, depth = append(queue, w), append(depth, d+1)
+		}
+	}
+	return size
+}
+
+// String renders the model for logs and table notes.
+func (f Fault) String() string {
+	switch f.Model {
+	case FailIID:
+		return fmt.Sprintf("iid(rate=%g)", f.Rate)
+	case FailRegion:
+		return fmt.Sprintf("region(radius=%d, count=%d)", f.Radius, f.Count)
+	case FailNodes:
+		return fmt.Sprintf("nodes(count=%d)", f.Count)
+	}
+	return "none"
+}

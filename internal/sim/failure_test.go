@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"faultroute/internal/graph"
+	"faultroute/internal/percolation"
+)
+
+func countDead(g graph.Graph, m *Mask) int {
+	n := 0
+	for v := graph.Vertex(0); uint64(v) < g.Order(); v++ {
+		if m.Dead(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFaultDisabledSamplesNil(t *testing.T) {
+	g := graph.MustHypercube(6)
+	for _, f := range []Fault{
+		{},
+		{Model: FailIID, Rate: 0},
+		{Model: FailNodes, Count: 0},
+		{Model: FailRegion, Count: 0, Radius: 3},
+	} {
+		if f.Enabled() {
+			t.Fatalf("%v reports enabled", f)
+		}
+		if m := f.Sample(g, 1); m != nil {
+			t.Fatalf("%v sampled a non-nil mask", f)
+		}
+	}
+	var nilMask *Mask
+	if nilMask.Dead(0) {
+		t.Fatal("nil mask kills vertices")
+	}
+	nilMask.Release() // must not panic
+}
+
+func TestFaultSamplingIsDeterministic(t *testing.T) {
+	g := graph.MustTorus(2, 8)
+	for _, f := range []Fault{
+		{Model: FailIID, Rate: 0.3},
+		{Model: FailNodes, Count: 5},
+		{Model: FailRegion, Radius: 2, Count: 2, Seed: 9},
+	} {
+		a, b := f.Sample(g, 42), f.Sample(g, 42)
+		for v := graph.Vertex(0); uint64(v) < g.Order(); v++ {
+			if a.Dead(v) != b.Dead(v) {
+				t.Fatalf("%v: mask differs at %d across identical draws", f, v)
+			}
+		}
+		c := f.Sample(g, 43)
+		diff := false
+		for v := graph.Vertex(0); uint64(v) < g.Order(); v++ {
+			if a.Dead(v) != c.Dead(v) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatalf("%v: masks identical across different sample seeds", f)
+		}
+		a.Release()
+		b.Release()
+		c.Release()
+	}
+}
+
+func TestRegionKillsExactBall(t *testing.T) {
+	g := graph.MustHypercube(7)
+	f := Fault{Model: FailRegion, Radius: 2, Count: 1, Seed: 3}
+	m := f.Sample(g, 11)
+	defer m.Release()
+	// The hypercube is vertex-transitive, so a single ball's kill count
+	// is the same whichever center was drawn.
+	want := BallSize(g, 0, 2)
+	if got := countDead(g, m); got != want {
+		t.Fatalf("region killed %d vertices, ball size is %d", got, want)
+	}
+}
+
+func TestNodesEqualsRegionRadiusZero(t *testing.T) {
+	g := graph.MustMesh(2, 9)
+	nodes := Fault{Model: FailNodes, Count: 4, Seed: 5}
+	region := Fault{Model: FailRegion, Radius: 0, Count: 4, Seed: 5}
+	for seed := uint64(1); seed <= 8; seed++ {
+		a, b := nodes.Sample(g, seed), region.Sample(g, seed)
+		for v := graph.Vertex(0); uint64(v) < g.Order(); v++ {
+			if a.Dead(v) != b.Dead(v) {
+				t.Fatalf("nodes and radius-0 region masks differ at %d (seed %d)", v, seed)
+			}
+		}
+		a.Release()
+		b.Release()
+	}
+}
+
+func TestMaskClosesIncidentEdges(t *testing.T) {
+	g := graph.MustHypercube(5)
+	f := Fault{Model: FailNodes, Count: 3, Seed: 2}
+	mask := f.Sample(g, 7)
+	defer mask.Release()
+	s := percolation.New(g, 1, 7).WithDead(mask)
+	graph.ForEachEdge(g, func(u, v graph.Vertex, id uint64) bool {
+		open := s.OpenEdgeID(u, v, id)
+		touched := mask.Dead(u) || mask.Dead(v)
+		if open == touched {
+			t.Fatalf("edge {%d,%d}: open=%v with dead endpoint=%v at p=1", u, v, open, touched)
+		}
+		return true
+	})
+	if countDead(g, mask) == 0 {
+		t.Fatal("nodes model killed nothing")
+	}
+}
+
+func TestBallSizeMatchesHypercubeFormula(t *testing.T) {
+	g := graph.MustHypercube(8)
+	// |B(r)| on H_8 = sum_{i<=r} C(8,i).
+	want := []int{1, 9, 37, 93}
+	for r, w := range want {
+		if got := BallSize(g, 0, r); got != w {
+			t.Fatalf("BallSize(H_8, r=%d) = %d, want %d", r, got, w)
+		}
+	}
+}

@@ -135,7 +135,7 @@ func (s *Service) Store() cache.ResultStore { return s.store }
 //	GET    /v1/jobs/{id}/events Server-Sent-Events push progress stream
 //	DELETE /v1/jobs/{id}        cancel a queued or running job (409 once finished)
 //	GET    /v1/results/{key}    canonical result bytes for a content address
-//	GET    /v1/experiments      the E1..E18 registry with parameter schemas
+//	GET    /v1/experiments      the E1..E21 registry with parameter schemas
 //	GET    /v1/healthz          liveness + cache statistics
 //	GET    /v1/metrics          Prometheus text-format metrics
 //
@@ -334,7 +334,7 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// handleExperiments serves the machine-readable E1..E18 registry.
+// handleExperiments serves the machine-readable E1..E21 registry.
 func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.ExperimentList{Experiments: exp.Infos()})
 }

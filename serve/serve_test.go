@@ -239,11 +239,11 @@ func TestExperimentsRegistry(t *testing.T) {
 	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/experiments", "", &reg); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if len(reg.Experiments) != 18 {
-		t.Fatalf("registry lists %d experiments, want 18", len(reg.Experiments))
+	if len(reg.Experiments) != 21 {
+		t.Fatalf("registry lists %d experiments, want 21", len(reg.Experiments))
 	}
-	if reg.Experiments[0].ID != "E1" || reg.Experiments[17].ID != "E18" {
-		t.Fatalf("registry order wrong: %s .. %s", reg.Experiments[0].ID, reg.Experiments[17].ID)
+	if reg.Experiments[0].ID != "E1" || reg.Experiments[20].ID != "E21" {
+		t.Fatalf("registry order wrong: %s .. %s", reg.Experiments[0].ID, reg.Experiments[20].ID)
 	}
 	for _, e := range reg.Experiments {
 		if e.Title == "" || e.Claim == "" || len(e.Params) == 0 {
